@@ -1,0 +1,492 @@
+package repro
+
+// One benchmark per experiment (E1..E12, DESIGN.md §4), timing the
+// hot path each experiment exercises. The shape results themselves
+// are asserted in internal/experiments; these benches measure the
+// *cost* of the separation mechanisms, including the paper's central
+// performance claim: the enhanced configuration adds work only on
+// control-plane operations (new connections, job setup), never on
+// established data paths.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/mitig"
+	"repro/internal/mpicrypt"
+	"repro/internal/netsim"
+	"repro/internal/portal"
+	"repro/internal/ppsfw"
+	"repro/internal/sched"
+	"repro/internal/ubf"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+func benchTopo() core.Topology {
+	return core.Topology{ComputeNodes: 8, LoginNodes: 2, CoresPerNode: 16, MemPerNode: 1 << 30, GPUsPerNode: 2}
+}
+
+// BenchmarkE1ProcScan: a full `ps` pass (list + readable filter) over
+// a busy login node at each hidepid level.
+func BenchmarkE1ProcScan(b *testing.B) {
+	for _, cfg := range []core.Config{core.Baseline(), core.Enhanced()} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			c := core.MustNew(cfg, benchTopo())
+			var obs ids.Credential
+			for i := 0; i < 8; i++ {
+				u, err := c.AddUser(fmt.Sprintf("user%d", i), "pw")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					obs = u.Cred
+				}
+				for p := 0; p < 50; p++ {
+					c.Logins[0].Procs.Spawn(u.Cred, 1, "work", fmt.Sprintf("--n=%d", p))
+				}
+			}
+			view := c.Proc[c.Logins[0].Name]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = view.List(obs)
+			}
+		})
+	}
+}
+
+// BenchmarkE2CVEProbe: the cost of a single cmdline read attempt —
+// the disclosure path hidepid closes.
+func BenchmarkE2CVEProbe(b *testing.B) {
+	c := core.MustNew(core.Enhanced(), benchTopo())
+	victim, _ := c.AddUser("victim", "pw")
+	attacker, _ := c.AddUser("attacker", "pw")
+	p := c.Logins[0].Procs.Spawn(victim.Cred, 1, "srun", "--secret=x")
+	view := c.Proc[c.Logins[0].Name]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = view.ReadCmdline(attacker.Cred, p.PID)
+	}
+}
+
+// BenchmarkE3Squeue: squeue under PrivateData with a 200-job queue.
+func BenchmarkE3Squeue(b *testing.B) {
+	for _, cfg := range []core.Config{core.Baseline(), core.Enhanced()} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			c := core.MustNew(cfg, benchTopo())
+			var obs ids.Credential
+			for u := 0; u < 4; u++ {
+				user, _ := c.AddUser(fmt.Sprintf("user%d", u), "pw")
+				if u == 0 {
+					obs = user.Cred
+				}
+				for j := 0; j < 50; j++ {
+					if _, err := c.Sched.Submit(user.Cred, sched.JobSpec{Name: "j", Command: "x", Cores: 1, MemB: 1, Duration: 1000}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			c.Step()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = c.Sched.Squeue(obs)
+			}
+		})
+	}
+}
+
+// BenchmarkE4Policies: drain an identical 300-job multi-user campaign
+// under each node-sharing policy. This measures simulation CPU time;
+// the policy comparison the paper cares about (makespan in logical
+// ticks, utilization, blast radius) is the E4 table in
+// internal/experiments.
+func BenchmarkE4Policies(b *testing.B) {
+	for _, pol := range []sched.SharingPolicy{sched.PolicyShared, sched.PolicyExclusive, sched.PolicyUserWholeNode} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := core.Enhanced()
+				cfg.Policy = pol
+				c := core.MustNew(cfg, benchTopo())
+				rng := metrics.NewRNG(7)
+				var batches [][]workload.Submission
+				for u := 0; u < 6; u++ {
+					user, _ := c.AddUser(fmt.Sprintf("user%d", u), "pw")
+					batches = append(batches, workload.Sweep(rng.Split(), workload.SweepConfig{
+						User: user.Cred, Jobs: 50, MinCores: 1, MaxCores: 8, MinDur: 1, MaxDur: 4, MemB: 1 << 20,
+					}))
+				}
+				if _, err := workload.SubmitAll(c.Sched, workload.Mix(batches...)); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				c.RunAll(100000)
+			}
+		})
+	}
+}
+
+// BenchmarkE5SSHGate: pam_slurm login decision on a compute node.
+func BenchmarkE5SSHGate(b *testing.B) {
+	c := core.MustNew(core.Enhanced(), benchTopo())
+	alice, _ := c.AddUser("alice", "pw")
+	if _, err := c.Sched.Submit(alice.Cred, sched.JobSpec{Name: "j", Command: "x", Cores: 2, MemB: 1, Duration: 1 << 30}); err != nil {
+		b.Fatal(err)
+	}
+	c.Step()
+	node := c.Compute[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh, err := node.Login(alice.Cred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = node.Procs.Exit(sh.PID)
+	}
+}
+
+// BenchmarkE6FSMatrix: create + chmod + cross-user read attempt under
+// smask, the per-file cost of the filesystem measures.
+func BenchmarkE6FSMatrix(b *testing.B) {
+	for _, cfg := range []core.Config{core.Baseline(), core.Enhanced()} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			c := core.MustNew(cfg, benchTopo())
+			owner, _ := c.AddUser("owner", "pw")
+			stranger, _ := c.AddUser("stranger", "pw")
+			octx, sctx := vfs.Ctx(owner.Cred), vfs.Ctx(stranger.Cred)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				path := fmt.Sprintf("/scratch/shared/f%d", i)
+				if err := c.SharedFS.WriteFile(octx, path, []byte("d"), 0o600); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.SharedFS.Chmod(octx, path, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				_, _ = c.SharedFS.ReadFile(sctx, path)
+			}
+		})
+	}
+}
+
+// BenchmarkE7UBFMatrix: one NEW-connection verdict, allowed vs denied.
+func BenchmarkE7UBFMatrix(b *testing.B) {
+	c := core.MustNew(core.Enhanced(), benchTopo())
+	alice, _ := c.AddUser("alice", "pw")
+	bob, _ := c.AddUser("bob", "pw")
+	h0, _ := c.Host(c.Compute[0].Name)
+	h1, _ := c.Host(c.Compute[1].Name)
+	if _, err := h0.Listen(alice.Cred, netsim.TCP, 9000); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("same-user-accept", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			conn, err := h1.Dial(alice.Cred, netsim.TCP, c.Compute[0].Name, 9000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn.Close()
+		}
+	})
+	b.Run("cross-user-deny", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := h1.Dial(bob.Cred, netsim.TCP, c.Compute[0].Name, 9000); err == nil {
+				b.Fatal("cross-user dial succeeded")
+			}
+		}
+	})
+}
+
+// BenchmarkE8UBFOverhead: connection setup with the firewall off, on
+// without cache, and on with cache — plus the established-path data
+// rate that the paper's conntrack bypass keeps identical.
+func BenchmarkE8UBFOverhead(b *testing.B) {
+	variants := []struct {
+		name    string
+		enabled bool
+		cache   bool
+	}{
+		{"setup-no-ubf", false, false},
+		{"setup-ubf-nocache", true, false},
+		{"setup-ubf-cache", true, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := core.Enhanced()
+			cfg.UBFEnabled = v.enabled
+			cfg.UBFCacheVerdicts = v.cache
+			c := core.MustNew(cfg, benchTopo())
+			alice, _ := c.AddUser("alice", "pw")
+			h0, _ := c.Host(c.Compute[0].Name)
+			h1, _ := c.Host(c.Compute[1].Name)
+			if _, err := h0.Listen(alice.Cred, netsim.TCP, 9000); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conn, err := h1.Dial(alice.Cred, netsim.TCP, c.Compute[0].Name, 9000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				conn.Close()
+			}
+		})
+	}
+	for _, enabled := range []bool{false, true} {
+		name := "established-send-no-ubf"
+		if enabled {
+			name = "established-send-ubf"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Enhanced()
+			cfg.UBFEnabled = enabled
+			c := core.MustNew(cfg, benchTopo())
+			alice, _ := c.AddUser("alice", "pw")
+			h0, _ := c.Host(c.Compute[0].Name)
+			h1, _ := c.Host(c.Compute[1].Name)
+			if _, err := h0.Listen(alice.Cred, netsim.TCP, 9000); err != nil {
+				b.Fatal(err)
+			}
+			conn, err := h1.Dial(alice.Cred, netsim.TCP, c.Compute[0].Name, 9000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 256)
+			b.SetBytes(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conn.Send(payload); err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := drainOne(conn); !ok {
+					b.Fatal("lost payload")
+				}
+			}
+		})
+	}
+}
+
+func drainOne(c *netsim.Conn) ([]byte, bool) { return c.Recv() }
+
+// BenchmarkE9GPUResidue: the epilog clear itself — the cost the paper
+// pays per GPU job handover.
+func BenchmarkE9GPUResidue(b *testing.B) {
+	c := core.MustNew(core.Enhanced(), benchTopo())
+	alice, _ := c.AddUser("alice", "pw")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := c.Sched.Submit(alice.Cred, sched.JobSpec{Name: "g", Command: "x", Cores: 1, MemB: 1, GPUs: 1, Duration: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Step() // start (prolog: assign)
+		c.Step() // finish (epilog: clear + revoke)
+		if jj, _ := c.Sched.Job(j.ID); jj.State != sched.Completed {
+			c.RunAll(4)
+		}
+	}
+}
+
+// BenchmarkE10Residual: the residual abstract-socket path (no checks,
+// so this is the floor for local IPC).
+func BenchmarkE10Residual(b *testing.B) {
+	c := core.MustNew(core.Enhanced(), benchTopo())
+	alice, _ := c.AddUser("alice", "pw")
+	bob, _ := c.AddUser("bob", "pw")
+	h, _ := c.Host(c.Logins[0].Name)
+	sock, err := h.ListenAbstract(alice.Cred, "coord")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.DialAbstract(bob.Cred, "coord", payload); err != nil {
+			b.Fatal(err)
+		}
+		sock.Recv()
+	}
+}
+
+// BenchmarkE11Portal: one authenticated forward through the portal,
+// including the UBF-checked upstream dial.
+func BenchmarkE11Portal(b *testing.B) {
+	c := core.MustNew(core.Enhanced(), benchTopo())
+	owner, _ := c.AddUser("owner", "pw")
+	h, _ := c.Host(c.Compute[0].Name)
+	app, err := portal.Serve(h, owner.Cred, 8888)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Portal.Register(owner.Cred, "/app", c.Compute[0].Name, 8888); err != nil {
+		b.Fatal(err)
+	}
+	tok, err := c.Portal.Login(owner.Cred, "pw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Portal.Forward(tok, "/app", []byte("GET /")); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 0 {
+			app.Drain()
+		}
+	}
+}
+
+// BenchmarkE12Container: a host-filesystem read from inside a
+// container (passthrough cost over the bare FS read).
+func BenchmarkE12Container(b *testing.B) {
+	c := core.MustNew(core.Enhanced(), benchTopo())
+	user, _ := c.AddUser("user", "pw")
+	c.Containers.ImportImage("img", nil)
+	c.Containers.Allow(user.UID)
+	node := c.Compute[0]
+	h, _ := c.Host(node.Name)
+	ct, err := c.Containers.Run(user.Cred, node, c.NS[node.Name], h, container.RunSpec{Image: "img"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ct.WriteFile(user.HomePath+"/data", []byte("payload"), 0o600); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inside-container", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ct.ReadFile(user.HomePath + "/data"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bare-host", func(b *testing.B) {
+		ctx := vfs.Ctx(user.Cred)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.SharedFS.ReadFile(ctx, user.HomePath+"/data"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE13PPSComparison: decision cost of the PPS comparator vs
+// the UBF on the same flow.
+func BenchmarkE13PPSComparison(b *testing.B) {
+	alice := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	mk := func(install func(h *netsim.Host)) (*netsim.Host, string) {
+		n := netsim.NewNetwork()
+		h1, h2 := n.AddHost("a"), n.AddHost("b")
+		install(h2)
+		if _, err := h2.Listen(alice, netsim.TCP, 47113); err != nil {
+			b.Fatal(err)
+		}
+		return h1, "b"
+	}
+	b.Run("pps-range-rule", func(b *testing.B) {
+		h1, dst := mk(func(h *netsim.Host) {
+			fw := ppsfw.New()
+			fw.Approve("user-ports", netsim.TCP, 1024, 65535)
+			fw.InstallOn(h)
+		})
+		for i := 0; i < b.N; i++ {
+			c, err := h1.Dial(alice, netsim.TCP, dst, 47113)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+		}
+	})
+	b.Run("ubf", func(b *testing.B) {
+		h1, dst := mk(func(h *netsim.Host) {
+			d := ubf.New(ubf.Config{AllowGroupPeers: true, CacheVerdicts: true})
+			d.InstallOn(h)
+		})
+		for i := 0; i < b.N; i++ {
+			c, err := h1.Dial(alice, netsim.TCP, dst, 47113)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+		}
+	})
+}
+
+// BenchmarkE14CryptoMPI: per-message data-path cost of Option 1
+// (AES-GCM seal+open) vs Option 2 (plain send through conntrack).
+func BenchmarkE14CryptoMPI(b *testing.B) {
+	alice := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	payload := make([]byte, 4096)
+	b.Run("plain-ubf-datapath", func(b *testing.B) {
+		n := netsim.NewNetwork()
+		h1, h2 := n.AddHost("a"), n.AddHost("b")
+		d := ubf.New(ubf.Config{AllowGroupPeers: true})
+		d.InstallOn(h2)
+		l, err := h2.Listen(alice, netsim.TCP, 9000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn, err := h1.Dial(alice, netsim.TCP, "b", 9000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc, _ := l.Accept()
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := conn.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := acc.Recv(); !ok {
+				b.Fatal("lost payload")
+			}
+		}
+	})
+	b.Run("encrypted-mpi-datapath", func(b *testing.B) {
+		n := netsim.NewNetwork()
+		h1, h2 := n.AddHost("a"), n.AddHost("b")
+		l, err := h2.Listen(alice, netsim.TCP, 9000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := h1.Dial(alice, netsim.TCP, "b", 9000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, err := mpicrypt.Secure(raw, []byte("job-token"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc, _ := l.Accept()
+		scAcc, err := mpicrypt.Secure(acc, []byte("job-token"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sc.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := scAcc.Recv(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE15MitigationTax: cost-model evaluation (cheap; here for
+// completeness so every experiment has a bench target).
+func BenchmarkE15MitigationTax(b *testing.B) {
+	on := mitig.DefaultMitigations()
+	profiles := mitig.Profiles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range profiles {
+			_ = mitig.Slowdown(w, on)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command benchharness regenerates every table of the paper's
+// evaluation (experiments E1..E12 in DESIGN.md). Run with no
+// arguments to print all tables, or -only E4 to print one.
+//
+//	go run ./cmd/benchharness
+//	go run ./cmd/benchharness -only E7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment, e.g. E4")
+	flag.Parse()
+
+	all := map[string]func() *metrics.Table{
+		"E1":  experiments.E1ProcessVisibility,
+		"E2":  experiments.E2CVEMitigation,
+		"E3":  experiments.E3SchedulerPrivacy,
+		"E4":  experiments.E4SchedulingPolicies,
+		"E5":  experiments.E5SSHGate,
+		"E6":  experiments.E6FilesystemMatrix,
+		"E7":  experiments.E7UBFMatrix,
+		"E8":  experiments.E8UBFOverhead,
+		"E9":  experiments.E9GPUResidue,
+		"E10": experiments.E10ResidualChannels,
+		"E11": experiments.E11Portal,
+		"E12": experiments.E12Container,
+		"E13": experiments.E13PPSComparison,
+		"E14": experiments.E14CryptoMPIComparison,
+		"E15": experiments.E15MitigationTax,
+	}
+	if *only != "" {
+		f, ok := all[strings.ToUpper(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q (E1..E12)\n", *only)
+			os.Exit(2)
+		}
+		fmt.Println(f().Render())
+		return
+	}
+	for _, t := range experiments.All() {
+		fmt.Println(t.Render())
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "HPC with
+// Enhanced User Separation" (Prout et al., MIT Lincoln Laboratory
+// Supercomputing Center, SC 2024; arXiv:2409.10770).
+//
+// The library simulates a multi-node Linux HPC system — process
+// tables and /proc, a POSIX filesystem with the paper's smask kernel
+// patch, a Slurm-like scheduler, a TCP/UDP fabric with an
+// nfqueue-style firewall hook, GPUs with persistent device memory,
+// encapsulation containers, and a web portal — and implements the
+// paper's enhanced-user-separation configuration on top of it.
+//
+// Start with internal/core (the Cluster type and the
+// Baseline/Enhanced presets), the examples/ directory, and
+// cmd/benchharness, which regenerates every experiment table. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro

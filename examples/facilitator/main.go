@@ -1,0 +1,104 @@
+// Facilitator workflow: the paper's HPC support personnel story told
+// end to end (§IV-A seepid, §IV-C smask_relax, §IV-G environment
+// modules). A research facilitator — NOT a full administrator — has
+// to (1) attribute a hotspot on a login node to a user, and (2)
+// publish a site-wide compiler module, all without root.
+//
+//	go run ./examples/facilitator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/modules"
+	"repro/internal/vfs"
+)
+
+func main() {
+	c, err := core.New(core.Enhanced(), core.DefaultTopology())
+	if err != nil {
+		log.Fatal(err)
+	}
+	user, err := c.AddUser("researcher", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	facilitator, err := c.AddSupportStaff("facilitator", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A user hammers a login node.
+	login := c.Logins[0]
+	for i := 0; i < 5; i++ {
+		login.Procs.Spawn(user.Cred, 1, "python", "crunch.py", fmt.Sprintf("--part=%d", i))
+	}
+
+	// 1. Without seepid the facilitator sees nothing foreign
+	// (hidepid=2 binds them like everyone else).
+	view := c.Proc[login.Name]
+	fmt.Printf("processes visible before seepid: %d\n", len(view.List(facilitator.Cred)))
+
+	// Elevate: the exempt supplemental group joins the session.
+	elevated, err := c.Seepid.Elevate(facilitator.Cred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot := 0
+	for _, p := range view.List(elevated) {
+		if p.Cred.UID == user.UID {
+			hot++
+		}
+	}
+	fmt.Printf("processes visible after seepid:  %d (attributed %d to researcher)\n",
+		len(view.List(elevated)), hot)
+
+	// ...and drop the privilege when done.
+	dropped := c.Seepid.Drop(elevated)
+	fmt.Printf("processes visible after drop:    %d\n", len(view.List(dropped)))
+
+	// 2. Publish a site compiler module. The dataset/software area is
+	// support-maintained; smask would mask the world-read bits the
+	// publication needs, so the facilitator enters smask_relax.
+	rootCtx := vfs.Context{Cred: ids.RootCred()}
+	if err := c.SharedFS.MkdirAll(rootCtx, "/proj/modules/gcc", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.SharedFS.Chown(rootCtx, "/proj/modules/gcc", facilitator.UID, ids.NoGID); err != nil {
+		log.Fatal(err)
+	}
+	modulefile := "#%Module\nmodule-whatis \"GNU compilers\"\nprepend-path PATH /opt/gcc/13.1/bin\nsetenv CC /opt/gcc/13.1/bin/gcc\n"
+
+	relaxed, err := c.SmaskRelax.Enter(vfs.Ctx(facilitator.Cred))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.SharedFS.WriteFile(relaxed, "/proj/modules/gcc/13.1", []byte(modulefile), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	// Session over: back to the strict mask.
+	_ = c.SmaskRelax.Leave(relaxed)
+
+	// 3. Any user can now load the module.
+	repo, err := modules.LoadTree(c.SharedFS, vfs.Ctx(user.Cred), "/proj/modules")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := modules.NewSession(repo, map[string]string{"PATH": "/usr/bin"})
+	if err := sess.Load("gcc"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("researcher after `module load gcc`: PATH=%s CC=%s\n",
+		sess.Getenv("PATH"), sess.Getenv("CC"))
+
+	// 4. An ordinary user can do none of this.
+	if _, err := c.Seepid.Elevate(user.Cred); err != nil {
+		fmt.Println("researcher tries seepid:      denied (not whitelisted)")
+	}
+	if _, err := c.SmaskRelax.Enter(vfs.Ctx(user.Cred)); err != nil {
+		fmt.Println("researcher tries smask_relax: denied (not whitelisted)")
+	}
+}

@@ -1,0 +1,72 @@
+// Monte Carlo campaign: the workload class that motivated the
+// paper's user-based whole-node scheduling policy (§IV-B) — large
+// volumes of short, bulk-synchronous jobs from several users, with
+// the occasional job that blows past its memory request.
+//
+// The example runs the identical campaign under all three
+// node-sharing policies and prints the trade-off table: shared packs
+// best but lets one user's OOM kill another user's jobs; exclusive is
+// safe but wastes cores; user-wholenode is safe AND packs well.
+//
+//	go run ./examples/montecarlo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	table := metrics.NewTable("Monte Carlo campaign: 480 jobs, 6 users, 8×16-core nodes",
+		"policy", "utilization", "makespan", "crashes", "cross-user cofailures", "max users/node")
+
+	for _, pol := range []sched.SharingPolicy{
+		sched.PolicyShared, sched.PolicyExclusive, sched.PolicyUserWholeNode,
+	} {
+		cfg := core.Enhanced()
+		cfg.Policy = pol
+		c, err := core.New(cfg, core.DefaultTopology())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := metrics.NewRNG(2024)
+		var batches [][]workload.Submission
+		for u := 0; u < 6; u++ {
+			user, err := c.AddUser(fmt.Sprintf("user%d", u), "pw")
+			if err != nil {
+				log.Fatal(err)
+			}
+			batches = append(batches, workload.MonteCarlo(rng.Split(), workload.SweepConfig{
+				User: user.Cred, Jobs: 80,
+				MinCores: 1, MaxCores: 8,
+				MinDur: 1, MaxDur: 4,
+				MemB: 1 << 20,
+			}))
+		}
+		// Every 75th job exceeds its memory request.
+		mix := workload.WithOOM(workload.Mix(batches...), 75, 2*core.DefaultTopology().MemPerNode)
+		if _, err := workload.SubmitAll(c.Sched, mix); err != nil {
+			log.Fatal(err)
+		}
+		maxUsers, ticks := 0, 0
+		for ; ticks < 20000; ticks++ {
+			c.Step()
+			if n := c.Sched.MaxUsersPerNode(); n > maxUsers {
+				maxUsers = n
+			}
+			if c.Sched.PendingCount() == 0 && len(c.Sched.Squeue(ids.RootCred())) == 0 {
+				break
+			}
+		}
+		crashes, cofail := c.Sched.Crashes()
+		table.AddRow(pol.String(), c.Sched.Utilization(), ticks, crashes, cofail, maxUsers)
+	}
+	table.AddNote("the paper's policy (user-wholenode) eliminates cross-user blast radius without exclusive's waste")
+	fmt.Println(table.Render())
+}

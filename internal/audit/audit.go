@@ -1,0 +1,149 @@
+// Package audit implements the leak scanner: an attacker harness that
+// *attempts* every cross-user channel the paper discusses and records
+// which attempts succeed. The paper's Results section (§V) is, in
+// effect, a claim about which rows of this report read "closed" under
+// the enhanced configuration — and which three stay "open" (file
+// names in world-writable directories, abstract-namespace unix
+// sockets, direct IB-CM RDMA).
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Channel labels the attack surface a probe exercises.
+type Channel string
+
+// Channels, one per area of paper §IV plus the residual paths of §V.
+const (
+	ChanProcess   Channel = "process"
+	ChanScheduler Channel = "scheduler"
+	ChanFS        Channel = "filesystem"
+	ChanNetwork   Channel = "network"
+	ChanPortal    Channel = "portal"
+	ChanGPU       Channel = "gpu"
+	ChanContainer Channel = "container"
+	ChanTmpNames  Channel = "tmp-names"
+	ChanAbstract  Channel = "abstract-socket"
+	ChanRDMACM    Channel = "rdma-cm"
+)
+
+// Probe is one attack attempt.
+type Probe struct {
+	Channel Channel
+	Name    string
+	// Residual marks channels the paper concedes stay open even under
+	// the enhanced configuration.
+	Residual bool
+	// Attempt performs the attack and reports whether information
+	// leaked (or access succeeded) across users.
+	Attempt func() (leaked bool, detail string)
+}
+
+// Result is one executed probe.
+type Result struct {
+	Probe  Probe
+	Leaked bool
+	Detail string
+}
+
+// Report aggregates a scan.
+type Report struct {
+	ConfigName string
+	Results    []Result
+}
+
+// Scanner runs probes.
+type Scanner struct {
+	mu     sync.Mutex
+	probes []Probe
+}
+
+// NewScanner creates an empty scanner.
+func NewScanner() *Scanner { return &Scanner{} }
+
+// Add registers a probe.
+func (s *Scanner) Add(p Probe) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probes = append(s.probes, p)
+}
+
+// Len returns the number of registered probes.
+func (s *Scanner) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.probes)
+}
+
+// Run executes every probe and returns the report, ordered by
+// (channel, name) for stable output.
+func (s *Scanner) Run(configName string) *Report {
+	s.mu.Lock()
+	probes := append([]Probe(nil), s.probes...)
+	s.mu.Unlock()
+	sort.Slice(probes, func(i, j int) bool {
+		if probes[i].Channel != probes[j].Channel {
+			return probes[i].Channel < probes[j].Channel
+		}
+		return probes[i].Name < probes[j].Name
+	})
+	rep := &Report{ConfigName: configName}
+	for _, p := range probes {
+		leaked, detail := p.Attempt()
+		rep.Results = append(rep.Results, Result{Probe: p, Leaked: leaked, Detail: detail})
+	}
+	return rep
+}
+
+// Leaks returns how many probes leaked, split into unexpected leaks
+// and residual (paper-acknowledged) leaks.
+func (r *Report) Leaks() (unexpected, residual int) {
+	for _, res := range r.Results {
+		if !res.Leaked {
+			continue
+		}
+		if res.Probe.Residual {
+			residual++
+		} else {
+			unexpected++
+		}
+	}
+	return
+}
+
+// Closed returns how many probes were blocked.
+func (r *Report) Closed() int {
+	n := 0
+	for _, res := range r.Results {
+		if !res.Leaked {
+			n++
+		}
+	}
+	return n
+}
+
+// Table renders the report as an experiment table.
+func (r *Report) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("leak scan — %s", r.ConfigName),
+		"channel", "probe", "result", "detail",
+	)
+	for _, res := range r.Results {
+		outcome := "closed"
+		if res.Leaked {
+			outcome = "LEAK"
+			if res.Probe.Residual {
+				outcome = "open (residual)"
+			}
+		}
+		t.AddRow(string(res.Probe.Channel), res.Probe.Name, outcome, res.Detail)
+	}
+	u, resd := r.Leaks()
+	t.AddNote("%d closed, %d unexpected leaks, %d residual channels open", r.Closed(), u, resd)
+	return t
+}

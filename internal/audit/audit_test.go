@@ -1,0 +1,73 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+func fixedProbe(ch Channel, name string, residual, leak bool) Probe {
+	return Probe{
+		Channel:  ch,
+		Name:     name,
+		Residual: residual,
+		Attempt:  func() (bool, string) { return leak, "detail-" + name },
+	}
+}
+
+func TestScannerRunOrdering(t *testing.T) {
+	s := NewScanner()
+	s.Add(fixedProbe(ChanNetwork, "b", false, false))
+	s.Add(fixedProbe(ChanFS, "z", false, true))
+	s.Add(fixedProbe(ChanFS, "a", false, false))
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	rep := s.Run("test")
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	// Sorted by channel then name: fs/a, fs/z, network/b.
+	order := []string{"a", "z", "b"}
+	for i, want := range order {
+		if rep.Results[i].Probe.Name != want {
+			t.Errorf("result[%d] = %s, want %s", i, rep.Results[i].Probe.Name, want)
+		}
+	}
+}
+
+func TestReportCounts(t *testing.T) {
+	s := NewScanner()
+	s.Add(fixedProbe(ChanFS, "blocked", false, false))
+	s.Add(fixedProbe(ChanFS, "leak", false, true))
+	s.Add(fixedProbe(ChanTmpNames, "residual", true, true))
+	rep := s.Run("enhanced")
+	u, r := rep.Leaks()
+	if u != 1 || r != 1 {
+		t.Errorf("leaks = %d,%d want 1,1", u, r)
+	}
+	if rep.Closed() != 1 {
+		t.Errorf("closed = %d", rep.Closed())
+	}
+}
+
+func TestReportTableRendering(t *testing.T) {
+	s := NewScanner()
+	s.Add(fixedProbe(ChanFS, "chmod-world", false, true))
+	s.Add(fixedProbe(ChanAbstract, "abstract-dgram", true, true))
+	s.Add(fixedProbe(ChanNetwork, "cross-dial", false, false))
+	out := s.Run("baseline").Table().Render()
+	for _, want := range []string{"LEAK", "open (residual)", "closed", "leak scan — baseline", "1 unexpected leaks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProbeDetailPropagates(t *testing.T) {
+	s := NewScanner()
+	s.Add(fixedProbe(ChanGPU, "residue", false, true))
+	rep := s.Run("x")
+	if rep.Results[0].Detail != "detail-residue" {
+		t.Errorf("detail = %q", rep.Results[0].Detail)
+	}
+}

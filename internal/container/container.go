@@ -1,0 +1,208 @@
+// Package container implements the HPC software-encapsulation
+// container runtime of the paper (§IV-G), modelled on
+// Singularity/Apptainer rather than enterprise service containers:
+//
+//   - the container runs AS THE INVOKING USER — no root, no setuid
+//     escalation; general users are forbidden administrative
+//     privileges;
+//   - the host network stack is passed through (no port
+//     virtualization), so the UBF still governs every connection;
+//   - host local and central filesystems are passed through as bind
+//     mounts, so smask / UPG / ACL restrictions still bind;
+//   - users cannot BUILD containers on the HPC system (that requires
+//     privileges they do not have); images are built elsewhere and
+//     brought in as files.
+//
+// The net effect the tests verify: "all of the security features
+// described in this paper pass through to the container as well."
+package container
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/simos"
+	"repro/internal/vfs"
+)
+
+// Image is a read-only software environment: a name plus the files
+// (tools, libraries, Python trees) baked in at build time.
+type Image struct {
+	Name  string
+	Files map[string]string // path inside image -> content
+}
+
+// Container errors.
+var (
+	ErrBuildForbidden = errors.New("container: building images requires administrative privileges not granted on HPC systems")
+	ErrNoImage        = errors.New("container: no such image")
+	ErrPrivileged     = errors.New("container: privileged execution refused")
+)
+
+// Runtime is the per-cluster container engine (the apptainer binary +
+// site configuration). Users with Singularity privileges are tracked
+// the way LLSC grants them case-by-case (§IV-G).
+type Runtime struct {
+	mu       sync.Mutex
+	images   map[string]*Image
+	allowed  map[ids.UID]bool // users granted container privileges; empty = everyone
+	restrict bool
+}
+
+// NewRuntime creates an engine. If restrict is true, only users
+// granted via Allow may run containers.
+func NewRuntime(restrict bool) *Runtime {
+	return &Runtime{
+		images:   make(map[string]*Image),
+		allowed:  make(map[ids.UID]bool),
+		restrict: restrict,
+	}
+}
+
+// Allow grants container privileges to a user.
+func (r *Runtime) Allow(uid ids.UID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.allowed[uid] = true
+}
+
+// Build refuses for everyone except root: "users cannot create and
+// populate their Singularity containers on the HPC system; they must
+// use their own computer" (§IV-G). ImportImage is how pre-built
+// images arrive.
+func (r *Runtime) Build(cred ids.Credential, name string, files map[string]string) (*Image, error) {
+	if !cred.IsRoot() {
+		return nil, fmt.Errorf("%w: uid %d", ErrBuildForbidden, cred.UID)
+	}
+	return r.ImportImage(name, files), nil
+}
+
+// ImportImage registers an image built off-system (on the user's own
+// machine where they have admin rights).
+func (r *Runtime) ImportImage(name string, files map[string]string) *Image {
+	img := &Image{Name: name, Files: make(map[string]string, len(files))}
+	for k, v := range files {
+		img.Files[k] = v
+	}
+	r.mu.Lock()
+	r.images[name] = img
+	r.mu.Unlock()
+	return img
+}
+
+// Image looks up a registered image.
+func (r *Runtime) Image(name string) (*Image, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	img, ok := r.images[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoImage, name)
+	}
+	return img, nil
+}
+
+// Container is one running instance: the user's credential, the host
+// node, the passthrough namespace and network host.
+type Container struct {
+	Image *Image
+	Cred  ids.Credential
+	Node  *simos.Node
+	NS    *vfs.Namespace
+	Net   *netsim.Host
+	Proc  *simos.Process
+}
+
+// RunSpec configures a container launch.
+type RunSpec struct {
+	Image string
+	// RequestPrivileged models asking for --fakeroot/setuid paths;
+	// always refused for non-root (the security property under test).
+	RequestPrivileged bool
+	Command           string
+}
+
+// Run launches a container for cred on the given node, wiring the
+// passthrough namespace and network.
+func (r *Runtime) Run(cred ids.Credential, node *simos.Node, ns *vfs.Namespace, net *netsim.Host, spec RunSpec) (*Container, error) {
+	if spec.RequestPrivileged && !cred.IsRoot() {
+		return nil, fmt.Errorf("%w: uid %d", ErrPrivileged, cred.UID)
+	}
+	r.mu.Lock()
+	if r.restrict && !r.allowed[cred.UID] && !cred.IsRoot() {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: uid %d not granted singularity privileges", ErrPrivileged, cred.UID)
+	}
+	img, ok := r.images[spec.Image]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoImage, spec.Image)
+	}
+	cmd := spec.Command
+	if cmd == "" {
+		cmd = "/bin/sh"
+	}
+	// The container process runs with the INVOKING user's credential —
+	// uid inside == uid outside (no user namespace remapping for HPC
+	// encapsulation containers).
+	p := node.Procs.Spawn(cred, 1, "apptainer", "exec", img.Name, cmd)
+	return &Container{Image: img, Cred: cred.Clone(), Node: node, NS: ns, Net: net, Proc: p}, nil
+}
+
+// ReadImageFile reads a file baked into the image (read-only layer).
+func (c *Container) ReadImageFile(path string) (string, error) {
+	v, ok := c.Image.Files[path]
+	if !ok {
+		return "", fmt.Errorf("%w: %s in image %s", vfs.ErrNotExist, path, c.Image.Name)
+	}
+	return v, nil
+}
+
+// ImagePaths lists the image's baked-in files.
+func (c *Container) ImagePaths() []string {
+	out := make([]string, 0, len(c.Image.Files))
+	for p := range c.Image.Files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The passthrough operations: every host mount is visible with the
+// caller's own credential, so host-side enforcement (smask, UPG
+// homes, ACL restriction) applies unchanged inside the container.
+
+// ReadFile reads a host path through the bind mount.
+func (c *Container) ReadFile(path string) ([]byte, error) {
+	return c.NS.ReadFile(vfs.Ctx(c.Cred), path)
+}
+
+// WriteFile writes a host path through the bind mount.
+func (c *Container) WriteFile(path string, data []byte, mode uint32) error {
+	return c.NS.WriteFile(vfs.Ctx(c.Cred), path, data, mode)
+}
+
+// Chmod chmods a host path through the bind mount (smask still
+// applies — the FS enforces it by policy, not by caller location).
+func (c *Container) Chmod(path string, mode uint32) error {
+	return c.NS.Chmod(vfs.Ctx(c.Cred), path, mode)
+}
+
+// Dial opens a network connection through the host stack: the UBF
+// hook on the destination sees the container user's credential.
+func (c *Container) Dial(proto netsim.Proto, dstHost string, dstPort int) (*netsim.Conn, error) {
+	return c.Net.Dial(c.Cred, proto, dstHost, dstPort)
+}
+
+// Listen binds a service through the host stack.
+func (c *Container) Listen(proto netsim.Proto, port int) (*netsim.Listener, error) {
+	return c.Net.Listen(c.Cred, proto, port)
+}
+
+// Exit terminates the container process.
+func (c *Container) Exit() {
+	_ = c.Node.Procs.Exit(c.Proc.PID)
+}

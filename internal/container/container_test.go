@@ -1,0 +1,172 @@
+package container
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/simos"
+	"repro/internal/ubf"
+	"repro/internal/vfs"
+)
+
+// world wires a node with an enhanced-policy filesystem and a
+// UBF-protected network, plus a registry with alice and bob.
+func world(t *testing.T) (*Runtime, *simos.Node, *vfs.Namespace, *netsim.Host, *netsim.Host, map[string]ids.Credential) {
+	t.Helper()
+	reg := ids.NewRegistry()
+	alice, _ := reg.AddUser("alice")
+	bob, _ := reg.AddUser("bob")
+	node := simos.NewNode("c00", simos.Compute, 8, 1<<30, nil)
+	shared := vfs.New("lustre", vfs.Policy{SmaskEnabled: true, Smask: vfs.DefaultSmask, ACLRestrict: true}, reg)
+	for _, u := range []*ids.User{alice, bob} {
+		if err := shared.CreateHome(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns := vfs.NewNamespace()
+	if err := ns.Mount("/", shared); err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.NewNetwork()
+	h1, h2 := n.AddHost("c00"), n.AddHost("c01")
+	d := ubf.New(ubf.Config{AllowGroupPeers: true})
+	d.InstallOn(h1)
+	d.InstallOn(h2)
+	rt := NewRuntime(false)
+	rt.ImportImage("pytorch", map[string]string{"/opt/conda/bin/python": "#!python3.11"})
+	creds := map[string]ids.Credential{}
+	for _, u := range []*ids.User{alice, bob} {
+		c, _ := reg.LoginCredential(u.UID)
+		creds[u.Name] = c
+	}
+	return rt, node, ns, h1, h2, creds
+}
+
+func TestBuildForbiddenForUsers(t *testing.T) {
+	rt, _, _, _, _, creds := world(t)
+	if _, err := rt.Build(creds["alice"], "custom", nil); !errors.Is(err, ErrBuildForbidden) {
+		t.Errorf("user build err = %v, want ErrBuildForbidden", err)
+	}
+	if _, err := rt.Build(ids.RootCred(), "site-image", nil); err != nil {
+		t.Errorf("root build: %v", err)
+	}
+}
+
+func TestRunAsInvokingUserNoEscalation(t *testing.T) {
+	rt, node, ns, h1, _, creds := world(t)
+	c, err := rt.Run(creds["alice"], node, ns, h1, RunSpec{Image: "pytorch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// uid inside == uid outside.
+	if c.Proc.Cred.UID != creds["alice"].UID {
+		t.Errorf("container uid = %d, want %d", c.Proc.Cred.UID, creds["alice"].UID)
+	}
+	// Privileged execution refused.
+	if _, err := rt.Run(creds["alice"], node, ns, h1, RunSpec{Image: "pytorch", RequestPrivileged: true}); !errors.Is(err, ErrPrivileged) {
+		t.Errorf("privileged run err = %v, want ErrPrivileged", err)
+	}
+	// Missing image.
+	if _, err := rt.Run(creds["alice"], node, ns, h1, RunSpec{Image: "ghost"}); !errors.Is(err, ErrNoImage) {
+		t.Errorf("ghost image err = %v, want ErrNoImage", err)
+	}
+	c.Exit()
+	if got := node.Procs.ByUser(creds["alice"].UID); len(got) != 0 {
+		t.Errorf("container process survived Exit: %v", got)
+	}
+}
+
+func TestRestrictedRuntimeRequiresGrant(t *testing.T) {
+	rt, node, ns, h1, _, creds := world(t)
+	restricted := NewRuntime(true)
+	restricted.ImportImage("pytorch", nil)
+	if _, err := restricted.Run(creds["alice"], node, ns, h1, RunSpec{Image: "pytorch"}); !errors.Is(err, ErrPrivileged) {
+		t.Errorf("ungranted run err = %v, want ErrPrivileged", err)
+	}
+	restricted.Allow(creds["alice"].UID)
+	if _, err := restricted.Run(creds["alice"], node, ns, h1, RunSpec{Image: "pytorch"}); err != nil {
+		t.Errorf("granted run: %v", err)
+	}
+	_ = rt
+}
+
+func TestImageFilesReadable(t *testing.T) {
+	rt, node, ns, h1, _, creds := world(t)
+	c, err := rt.Run(creds["alice"], node, ns, h1, RunSpec{Image: "pytorch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadImageFile("/opt/conda/bin/python")
+	if err != nil || got == "" {
+		t.Errorf("image read: %q %v", got, err)
+	}
+	if _, err := c.ReadImageFile("/missing"); err == nil {
+		t.Errorf("missing image file readable")
+	}
+	if paths := c.ImagePaths(); len(paths) != 1 {
+		t.Errorf("paths = %v", paths)
+	}
+}
+
+func TestFilesystemControlsPassThrough(t *testing.T) {
+	// The paper's claim: smask and home isolation apply inside the
+	// container because the host FS is passed through.
+	rt, node, ns, h1, _, creds := world(t)
+	ca, err := rt.Run(creds["alice"], node, ns, h1, RunSpec{Image: "pytorch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.WriteFile("/home/alice/model.pt", []byte("weights"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// World bits were masked by smask even from inside the container.
+	if err := ca.Chmod("/home/alice/model.pt", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := ns.Stat(vfs.Ctx(ids.RootCred()), "/home/alice/model.pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode&0o007 != 0 {
+		t.Errorf("smask bypassed inside container: mode %o", fi.Mode)
+	}
+	// Bob's container cannot read alice's home.
+	cb, err := rt.Run(creds["bob"], node, ns, h1, RunSpec{Image: "pytorch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.ReadFile("/home/alice/model.pt"); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("cross-home read inside container err = %v, want ErrPermission", err)
+	}
+}
+
+func TestNetworkControlsPassThrough(t *testing.T) {
+	// The UBF sees the container's real user: cross-user connections
+	// from inside a container are still dropped.
+	rt, node, ns, h1, h2, creds := world(t)
+	ca, err := rt.Run(creds["alice"], node, ns, h1, RunSpec{Image: "pytorch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Listen(netsim.TCP, 8888); err != nil {
+		t.Fatal(err)
+	}
+	// Bob's container on another host dials alice's service: dropped.
+	cb, err := rt.Run(creds["bob"], node, ns, h2, RunSpec{Image: "pytorch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Dial(netsim.TCP, "c00", 8888); !errors.Is(err, netsim.ErrConnDropped) {
+		t.Errorf("cross-user dial from container err = %v, want drop", err)
+	}
+	// Alice dialing her own containerized service works.
+	ca2, err := rt.Run(creds["alice"], node, ns, h2, RunSpec{Image: "pytorch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca2.Dial(netsim.TCP, "c00", 8888); err != nil {
+		t.Errorf("same-user dial from container: %v", err)
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/container"
+	"repro/internal/gpu"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/portal"
+	"repro/internal/procfs"
+	"repro/internal/sched"
+	"repro/internal/simos"
+	"repro/internal/ubf"
+	"repro/internal/vfs"
+)
+
+// Cluster is a fully wired simulated HPC system under one separation
+// configuration. Use New to build one, AddUser / AddProjectGroup to
+// provision identities, and the embedded subsystems directly for
+// everything else.
+type Cluster struct {
+	Cfg  Config
+	Topo Topology
+
+	Registry *ids.Registry
+
+	// Nodes: compute nodes first, then login nodes.
+	Compute []*simos.Node
+	Logins  []*simos.Node
+
+	Net        *netsim.Network
+	PortalHost *netsim.Host
+
+	SharedFS *vfs.FS            // Lustre-like: /home, /scratch, /proj
+	LocalFS  map[string]*vfs.FS // per node: /tmp, /dev/shm
+	NS       map[string]*vfs.Namespace
+
+	Sched      *sched.Scheduler
+	UBF        *ubf.Daemon
+	GPUs       *gpu.Manager
+	Portal     *portal.Portal
+	Containers *container.Runtime
+
+	Proc map[string]*procfs.Mount // per-node /proc view
+
+	// Escalation tools + their groups.
+	Seepid     *procfs.Seepid
+	SmaskRelax *vfs.SmaskRelax
+	SupportGID ids.GID // support-staff membership (the seepid whitelist)
+	ExemptGID  ids.GID // /proc gid= exemption; joined only via seepid
+	CoordGID   ids.GID
+
+	clock atomic.Int64
+}
+
+// SupportGroupName is the registry group whose members bypass
+// hidepid (via seepid) and may relax smask.
+const SupportGroupName = "hpc-support"
+
+// CoordGroupName is the scheduler-coordinator group exempt from
+// PrivateData.
+const CoordGroupName = "slurm-coord"
+
+// New builds a cluster under cfg with the given topology.
+func New(cfg Config, topo Topology) (*Cluster, error) {
+	c := &Cluster{
+		Cfg:      cfg,
+		Topo:     topo,
+		Registry: ids.NewRegistry(),
+		Net:      netsim.NewNetwork(),
+		LocalFS:  make(map[string]*vfs.FS),
+		NS:       make(map[string]*vfs.Namespace),
+		Proc:     make(map[string]*procfs.Mount),
+	}
+	clock := func() int64 { return c.clock.Load() }
+
+	// Escalation groups.
+	supp, err := c.Registry.AddProjectGroup(SupportGroupName, ids.Root)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := c.Registry.AddProjectGroup(CoordGroupName, ids.Root)
+	if err != nil {
+		return nil, err
+	}
+	// The /proc exemption group stays member-less in the registry:
+	// holding it is a *session* state granted by seepid, never part
+	// of a login credential.
+	exempt, err := c.Registry.AddProjectGroup("proc-exempt", ids.Root)
+	if err != nil {
+		return nil, err
+	}
+	c.SupportGID, c.CoordGID, c.ExemptGID = supp.GID, coord.GID, exempt.GID
+
+	// Filesystems.
+	fsPolicy := vfs.Policy{
+		SmaskEnabled:      cfg.SmaskEnabled,
+		Smask:             cfg.Smask,
+		ACLRestrict:       cfg.ACLRestrict,
+		ProtectedSymlinks: cfg.ProtectedSymlinks,
+	}
+	c.SharedFS = vfs.New("lustre", fsPolicy, c.Registry)
+	rootCtx := vfs.Context{Cred: ids.RootCred()}
+	for _, dir := range []string{"/home", "/scratch", "/proj"} {
+		if err := c.SharedFS.MkdirAll(rootCtx, dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.SharedFS.CreateTmp("/scratch/shared"); err != nil {
+		return nil, err
+	}
+
+	// Nodes + per-node namespaces, /proc mounts and network hosts.
+	addNode := func(name string, kind simos.NodeKind) (*simos.Node, error) {
+		n := simos.NewNode(name, kind, topo.CoresPerNode, topo.MemPerNode, clock)
+		local := vfs.New("local:"+name, fsPolicy, c.Registry)
+		if err := local.CreateTmp("/tmp"); err != nil {
+			return nil, err
+		}
+		if err := local.CreateTmp("/dev/shm"); err != nil {
+			return nil, err
+		}
+		ns := vfs.NewNamespace()
+		if err := ns.Mount("/", c.SharedFS); err != nil {
+			return nil, err
+		}
+		if err := ns.Mount("/tmp", local); err != nil {
+			return nil, err
+		}
+		if err := ns.Mount("/dev/shm", local); err != nil {
+			return nil, err
+		}
+		c.LocalFS[name] = local
+		c.NS[name] = ns
+		exemptGID := ids.NoGID
+		if cfg.SeepidEnabled {
+			exemptGID = c.ExemptGID
+		}
+		c.Proc[name] = procfs.NewMount(n.Procs, cfg.HidePID, exemptGID)
+		c.Net.AddHost(name)
+		return n, nil
+	}
+	for i := 0; i < topo.ComputeNodes; i++ {
+		n, err := addNode(fmt.Sprintf("c%02d", i), simos.Compute)
+		if err != nil {
+			return nil, err
+		}
+		c.Compute = append(c.Compute, n)
+	}
+	for i := 0; i < topo.LoginNodes; i++ {
+		n, err := addNode(fmt.Sprintf("login%d", i), simos.Login)
+		if err != nil {
+			return nil, err
+		}
+		c.Logins = append(c.Logins, n)
+	}
+	c.PortalHost = c.Net.AddHost("portal")
+
+	// Scheduler over all nodes (placement uses compute only).
+	all := append(append([]*simos.Node(nil), c.Compute...), c.Logins...)
+	c.Sched = sched.New(sched.Config{
+		PrivateData:     cfg.PrivateData,
+		Policy:          cfg.Policy,
+		PamSlurm:        cfg.PamSlurm,
+		CoordinatorGIDs: []ids.GID{c.CoordGID},
+	}, all, topo.GPUsPerNode)
+
+	// GPUs.
+	c.GPUs = gpu.NewManager(c.Compute, topo.GPUsPerNode, cfg.GPUAssignPerms, cfg.GPUClear)
+	c.GPUs.Register(c.Sched)
+
+	// User-based firewall.
+	c.UBF = ubf.New(ubf.Config{
+		AllowGroupPeers: cfg.UBFGroupPeers,
+		CacheVerdicts:   cfg.UBFCacheVerdicts,
+	})
+	if cfg.UBFEnabled {
+		for _, name := range c.Net.Hosts() {
+			h, err := c.Net.Host(name)
+			if err != nil {
+				return nil, err
+			}
+			c.UBF.InstallOn(h)
+		}
+	}
+
+	// Portal + containers.
+	c.Portal = portal.New(c.PortalHost)
+	c.Containers = container.NewRuntime(cfg.ContainerRestrict)
+
+	// Escalation tools.
+	c.Seepid = procfs.NewSeepid(c.ExemptGID)
+	c.SmaskRelax = vfs.NewSmaskRelax(0o002)
+
+	return c, nil
+}
+
+// MustNew is New, panicking on error (for examples and benches where
+// construction cannot reasonably fail).
+func MustNew(cfg Config, topo Topology) *Cluster {
+	c, err := New(cfg, topo)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Step advances the cluster one logical tick (scheduler pass + clock).
+func (c *Cluster) Step() { c.Sched.Step(); c.clock.Add(1) }
+
+// RunAll drains the scheduler, advancing the cluster clock alongside.
+func (c *Cluster) RunAll(maxTicks int) int {
+	t := c.Sched.RunAll(maxTicks)
+	c.clock.Add(int64(t))
+	return t
+}
+
+// User bundles an account with its ready-to-use login credential.
+type User struct {
+	*ids.User
+	Cred ids.Credential
+}
+
+// AddUser provisions a user end-to-end: registry entry (+ private
+// group), home directory on the shared FS, and portal enrolment with
+// the given password.
+func (c *Cluster) AddUser(name, portalPassword string) (*User, error) {
+	u, err := c.Registry.AddUser(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Cfg.HardenedHomes {
+		if err := c.SharedFS.CreateHome(u); err != nil {
+			return nil, err
+		}
+	} else {
+		// Baseline layout: user-owned, world-searchable home.
+		rootCtx := vfs.Context{Cred: ids.RootCred()}
+		if err := c.SharedFS.Mkdir(rootCtx, u.HomePath, 0o755); err != nil {
+			return nil, err
+		}
+		if err := c.SharedFS.Chown(rootCtx, u.HomePath, u.UID, u.Primary); err != nil {
+			return nil, err
+		}
+	}
+	cred, err := c.Registry.LoginCredential(u.UID)
+	if err != nil {
+		return nil, err
+	}
+	c.Portal.Enroll(u.UID, portalPassword)
+	return &User{User: u, Cred: cred}, nil
+}
+
+// AddSupportStaff provisions a user who is whitelisted for seepid and
+// smask_relax (an HPC research facilitator).
+func (c *Cluster) AddSupportStaff(name, portalPassword string) (*User, error) {
+	u, err := c.AddUser(name, portalPassword)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Registry.AddToGroup(ids.Root, c.SupportGID, u.UID); err != nil {
+		return nil, err
+	}
+	c.Seepid = procfs.NewSeepid(c.ExemptGID, c.seepidStaff()...)
+	c.SmaskRelax = vfs.NewSmaskRelax(0o002, c.seepidStaff()...)
+	// Refresh the credential to include the support group.
+	u.Cred, err = c.Registry.LoginCredential(u.UID)
+	return u, err
+}
+
+// Refresh re-derives u's login credential from the registry, picking
+// up group memberships granted after the account was provisioned
+// (the real-world equivalent: log out and back in).
+func (c *Cluster) Refresh(u *User) error {
+	cred, err := c.Registry.LoginCredential(u.UID)
+	if err != nil {
+		return err
+	}
+	u.Cred = cred
+	return nil
+}
+
+// seepidStaff recovers the current support-group membership.
+func (c *Cluster) seepidStaff() []ids.UID {
+	g, err := c.Registry.Group(c.SupportGID)
+	if err != nil {
+		return nil
+	}
+	var out []ids.UID
+	for _, uid := range g.Members() {
+		if uid != ids.Root {
+			out = append(out, uid)
+		}
+	}
+	return out
+}
+
+// AddProjectGroup provisions an approved project group with a shared
+// directory under /proj and the given steward.
+func (c *Cluster) AddProjectGroup(name string, steward ids.UID, members ...ids.UID) (*ids.Group, error) {
+	g, err := c.Registry.AddProjectGroup(name, steward)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range members {
+		if err := c.Registry.AddToGroup(steward, g.GID, m); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.SharedFS.CreateProjectDir("/proj/"+name, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Node returns any node (compute or login) by name.
+func (c *Cluster) Node(name string) (*simos.Node, error) {
+	for _, n := range append(append([]*simos.Node(nil), c.Compute...), c.Logins...) {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no such node %q", name)
+}
+
+// Host returns the network host for a node name.
+func (c *Cluster) Host(name string) (*netsim.Host, error) {
+	return c.Net.Host(name)
+}
+
+// LoginShell performs an ssh-style login (PAM-gated on compute nodes)
+// and returns the shell process.
+func (c *Cluster) LoginShell(nodeName string, cred ids.Credential) (*simos.Process, error) {
+	n, err := c.Node(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	return n.Login(cred)
+}

@@ -1,0 +1,121 @@
+// Package core assembles the complete simulated HPC system and
+// implements the paper's primary contribution: the *enhanced user
+// separation* configuration — the coordinated set of measures across
+// processes, scheduler, filesystems, network, web portal,
+// accelerators and containers that makes "every user feel like they
+// are running on a personal HPC" (paper abstract).
+//
+// The package exposes two presets:
+//
+//   - Baseline():  a stock multi-tenant Linux HPC system with default
+//     (permissive) settings — the "before" the paper argues against;
+//   - Enhanced():  the paper's deployed configuration — hidepid=2 with
+//     a support exemption, Slurm PrivateData + user-based whole-node
+//     scheduling + pam_slurm, user-private groups + root-owned homes +
+//     the smask kernel patch + ACL restriction, the User-Based
+//     Firewall, authenticated portal forwarding, GPU device
+//     assignment + epilog clearing, and restricted encapsulation
+//     containers.
+//
+// Every measure is individually toggleable so experiments can ablate
+// them (see bench_test.go and cmd/benchharness).
+package core
+
+import (
+	"repro/internal/procfs"
+	"repro/internal/sched"
+	"repro/internal/vfs"
+)
+
+// Config is the full separation configuration of a cluster.
+type Config struct {
+	Name string
+
+	// Processes (§IV-A).
+	HidePID       procfs.HidePID
+	SeepidEnabled bool // support staff may elevate into the exempt gid
+
+	// Scheduler (§IV-B).
+	PrivateData bool
+	Policy      sched.SharingPolicy
+	PamSlurm    bool
+
+	// Filesystems (§IV-C).
+	SmaskEnabled bool
+	Smask        uint32
+	ACLRestrict  bool
+	// HardenedHomes creates home directories root-owned and
+	// group-owned by the user-private group (mode 0770), so users
+	// cannot open their own top-level home to the world. Baseline
+	// systems create user-owned, world-searchable 0755 homes.
+	HardenedHomes bool
+	// ProtectedSymlinks enables the fs.protected_symlinks sysctl
+	// semantics in world-writable sticky directories.
+	ProtectedSymlinks bool
+
+	// Network (§IV-D).
+	UBFEnabled       bool
+	UBFGroupPeers    bool
+	UBFCacheVerdicts bool
+
+	// Accelerators (§IV-F).
+	GPUAssignPerms bool
+	GPUClear       bool
+
+	// Containers (§IV-G).
+	ContainerRestrict bool
+}
+
+// Baseline returns the stock configuration of a conventional
+// multi-tenant HPC system: everything visible, everything shared.
+func Baseline() Config {
+	return Config{
+		Name:    "baseline",
+		HidePID: procfs.HidePIDOff,
+		Policy:  sched.PolicyShared,
+	}
+}
+
+// Enhanced returns the paper's deployed configuration.
+func Enhanced() Config {
+	return Config{
+		Name:              "enhanced",
+		HidePID:           procfs.HidePIDInvis,
+		SeepidEnabled:     true,
+		PrivateData:       true,
+		Policy:            sched.PolicyUserWholeNode,
+		PamSlurm:          true,
+		SmaskEnabled:      true,
+		Smask:             vfs.DefaultSmask,
+		ACLRestrict:       true,
+		HardenedHomes:     true,
+		ProtectedSymlinks: true,
+		UBFEnabled:        true,
+		UBFGroupPeers:     true,
+		UBFCacheVerdicts:  true,
+		GPUAssignPerms:    true,
+		GPUClear:          true,
+		ContainerRestrict: true,
+	}
+}
+
+// Topology describes cluster geometry.
+type Topology struct {
+	ComputeNodes int
+	LoginNodes   int
+	CoresPerNode int
+	MemPerNode   int64
+	GPUsPerNode  int
+}
+
+// DefaultTopology is a small but representative cluster: 8 compute
+// nodes with 16 cores and 2 GPUs each, plus 2 login nodes.
+func DefaultTopology() Topology {
+	return Topology{
+		ComputeNodes: 8,
+		LoginNodes:   2,
+		CoresPerNode: 16,
+		MemPerNode:   64 << 30,
+		GPUsPerNode:  2,
+	}
+}

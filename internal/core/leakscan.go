@@ -1,0 +1,392 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/container"
+	"repro/internal/netsim"
+	"repro/internal/portal"
+	"repro/internal/sched"
+	"repro/internal/vfs"
+)
+
+// LeakScan runs the full attack-surface sweep of the paper's Results
+// section (§V) against a FRESH cluster: it provisions a victim and an
+// attacker (who share no project group), has the victim do ordinary
+// work on every subsystem, then has the attacker attempt every
+// cross-user channel. The returned report's shape is the paper's
+// evaluation: baseline leaks everywhere; enhanced closes everything
+// except the three residual channels (file names in world-writable
+// directories, abstract-namespace unix sockets, direct IB-CM RDMA).
+func LeakScan(c *Cluster) (*audit.Report, error) {
+	victim, err := c.AddUser("victim", "victim-pw")
+	if err != nil {
+		return nil, err
+	}
+	attacker, err := c.AddUser("attacker", "attacker-pw")
+	if err != nil {
+		return nil, err
+	}
+	s := audit.NewScanner()
+	if err := registerProbes(c, s, victim, attacker); err != nil {
+		return nil, err
+	}
+	return s.Run(c.Cfg.Name), nil
+}
+
+// registerProbes wires every probe. Exported pieces of the scenario
+// live here so the examples can reuse them.
+func registerProbes(c *Cluster, s *audit.Scanner, victim, attacker *User) error {
+	login := c.Logins[0]
+	secretArg := "--token=VICTIM-SECRET-42"
+
+	// -- Victim activity common to several probes --------------------
+	vp := login.Procs.Spawn(victim.Cred, 1, "analyze", secretArg)
+	vctx := vfs.Ctx(victim.Cred)
+	actx := vfs.Ctx(attacker.Cred)
+
+	if err := c.SharedFS.WriteFile(vctx, victim.HomePath+"/results.csv", []byte("victim-home-data"), 0o644); err != nil {
+		return err
+	}
+	// Victim mistypes a chmod opening a scratch file to the world.
+	if err := c.SharedFS.WriteFile(vctx, "/scratch/shared/victim-output.dat", []byte("victim-scratch-data"), 0o600); err != nil {
+		return err
+	}
+	if err := c.SharedFS.Chmod(vctx, "/scratch/shared/victim-output.dat", 0o644); err != nil {
+		return err
+	}
+	// Victim drops a working file into the login node's /tmp.
+	loginNS := c.NS[login.Name]
+	if err := loginNS.WriteFile(vctx, "/tmp/victim-projectX-run7.tmp", []byte("victim-tmp-data"), 0o644); err != nil {
+		return err
+	}
+
+	// Victim submits a batch job whose command line carries a secret.
+	vjob, err := c.Sched.Submit(victim.Cred, sched.JobSpec{
+		Name: "victim-sim", Command: "simulate " + secretArg,
+		Cores: 2, MemB: 1, Duration: 1 << 30, // effectively forever
+	})
+	if err != nil {
+		return err
+	}
+	c.Step()
+	runningVJob, err := c.Sched.Job(vjob.ID)
+	if err != nil {
+		return err
+	}
+
+	// Victim network service on its job node.
+	vjobNode := runningVJob.Nodes[0]
+	vHost, err := c.Host(vjobNode)
+	if err != nil {
+		return err
+	}
+	if _, err := vHost.Listen(victim.Cred, netsim.TCP, 5000); err != nil {
+		return err
+	}
+	// Victim abstract-namespace socket on the login node.
+	loginHost, err := c.Host(login.Name)
+	if err != nil {
+		return err
+	}
+	vSock, err := loginHost.ListenAbstract(victim.Cred, "victim-coordinator")
+	if err != nil {
+		return err
+	}
+	// Victim web app + portal route.
+	if _, err := portal.Serve(vHost, victim.Cred, 8888); err != nil {
+		return err
+	}
+	if _, err := c.Portal.Register(victim.Cred, "/jupyter/victim", vjobNode, 8888); err != nil {
+		return err
+	}
+
+	attackerHost, err := c.Host(c.Logins[len(c.Logins)-1].Name)
+	if err != nil {
+		return err
+	}
+
+	// -- Probes -------------------------------------------------------
+	procView := c.Proc[login.Name]
+	s.Add(audit.Probe{
+		Channel: audit.ChanProcess, Name: "ps-foreign-visible",
+		Attempt: func() (bool, string) {
+			for _, p := range procView.List(attacker.Cred) {
+				if p.Cred.UID == victim.UID {
+					return true, fmt.Sprintf("victim pid %d listed", p.PID)
+				}
+			}
+			return false, "no foreign pids in /proc listing"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanProcess, Name: "cmdline-secret-read",
+		Attempt: func() (bool, string) {
+			cl, err := procView.ReadCmdline(attacker.Cred, vp.PID)
+			if err == nil && strings.Contains(cl, "VICTIM-SECRET") {
+				return true, "read secret from /proc/<pid>/cmdline"
+			}
+			return false, fmt.Sprintf("cmdline read: %v", err)
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanScheduler, Name: "squeue-foreign-job",
+		Attempt: func() (bool, string) {
+			for _, j := range c.Sched.Squeue(attacker.Cred) {
+				if j.User == victim.UID && strings.Contains(j.Spec.Command, "VICTIM-SECRET") {
+					return true, fmt.Sprintf("job %d command visible", j.ID)
+				}
+			}
+			return false, "no foreign jobs in squeue"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanScheduler, Name: "ssh-roam-to-victim-node",
+		Attempt: func() (bool, string) {
+			node, err := c.Node(vjobNode)
+			if err != nil {
+				return false, err.Error()
+			}
+			if _, err := node.Login(attacker.Cred); err == nil {
+				return true, "ssh to victim's compute node succeeded"
+			}
+			return false, "pam denied compute-node ssh"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanFS, Name: "home-file-read",
+		Attempt: func() (bool, string) {
+			d, err := c.SharedFS.ReadFile(actx, victim.HomePath+"/results.csv")
+			if err == nil {
+				return true, fmt.Sprintf("read %d bytes from victim home", len(d))
+			}
+			return false, "home traversal denied"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanFS, Name: "chmod-world-readable",
+		Attempt: func() (bool, string) {
+			d, err := c.SharedFS.ReadFile(actx, "/scratch/shared/victim-output.dat")
+			if err == nil {
+				return true, fmt.Sprintf("read %d bytes via mistyped chmod", len(d))
+			}
+			return false, "smask stripped world bits"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanFS, Name: "acl-grant-to-stranger",
+		Attempt: func() (bool, string) {
+			// The *victim* tries to (mis)grant the attacker access —
+			// accidental-sharing scenario.
+			if err := c.SharedFS.SetfaclUser(vctx, "/scratch/shared/victim-output.dat", attacker.UID, 0o4); err != nil {
+				return false, "acl grant rejected (no shared project group)"
+			}
+			if _, err := c.SharedFS.ReadFile(actx, "/scratch/shared/victim-output.dat"); err == nil {
+				return true, "read via stranger acl"
+			}
+			return false, "acl granted but read denied"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanTmpNames, Name: "tmp-filename-listing", Residual: true,
+		Attempt: func() (bool, string) {
+			names, err := loginNS.ReadDir(actx, "/tmp")
+			if err != nil {
+				return false, err.Error()
+			}
+			for _, n := range names {
+				if strings.Contains(n, "victim") {
+					return true, fmt.Sprintf("file name %q visible", n)
+				}
+			}
+			return false, "no victim names in /tmp"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanFS, Name: "tmp-content-read",
+		Attempt: func() (bool, string) {
+			d, err := loginNS.ReadFile(actx, "/tmp/victim-projectX-run7.tmp")
+			if err == nil {
+				return true, fmt.Sprintf("read %d bytes from victim tmp file", len(d))
+			}
+			return false, "tmp file content protected"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanFS, Name: "tmp-symlink-planting",
+		Attempt: func() (bool, string) {
+			// Attacker pre-plants a symlink where the victim's job
+			// will write, pointing at an attacker-readable file.
+			localFS := c.LocalFS[login.Name]
+			if err := localFS.WriteFile(actx, "/tmp/.harvest", nil, 0o666); err != nil {
+				return false, err.Error()
+			}
+			if err := localFS.Chmod(actx, "/tmp/.harvest", 0o666); err != nil {
+				return false, err.Error()
+			}
+			if err := localFS.Symlink(actx, "/tmp/.harvest", "/tmp/victim-checkpoint.tmp"); err != nil {
+				return false, err.Error()
+			}
+			// The victim's job writes its checkpoint "as usual".
+			if err := localFS.WriteFileFollow(vctx, "/tmp/victim-checkpoint.tmp", []byte("checkpoint-secret"), 0o600); err != nil {
+				return false, fmt.Sprintf("victim write refused: %v", err)
+			}
+			if d, err := localFS.ReadFile(actx, "/tmp/.harvest"); err == nil && strings.Contains(string(d), "checkpoint-secret") {
+				return true, "victim data harvested via planted symlink"
+			}
+			return false, "no data harvested"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanNetwork, Name: "cross-user-dial",
+		Attempt: func() (bool, string) {
+			conn, err := attackerHost.Dial(attacker.Cred, netsim.TCP, vjobNode, 5000)
+			if err == nil {
+				conn.Close()
+				return true, "connected to victim service"
+			}
+			return false, "UBF dropped cross-user connection"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanAbstract, Name: "abstract-socket-send", Residual: true,
+		Attempt: func() (bool, string) {
+			if err := loginHost.DialAbstract(attacker.Cred, "victim-coordinator", []byte("injected")); err != nil {
+				return false, err.Error()
+			}
+			if _, from, ok := vSock.Recv(); ok && from == attacker.UID {
+				return true, "datagram delivered cross-user"
+			}
+			return false, "no delivery"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanRDMACM, Name: "rdma-native-cm-qp", Residual: true,
+		Attempt: func() (bool, string) {
+			qp, err := attackerHost.SetupQP(attacker.Cred, netsim.QPViaNativeCM, vjobNode, 0)
+			if err != nil {
+				return false, err.Error()
+			}
+			_ = qp.Write([]byte("rdma"))
+			qp.Close()
+			return true, "QP established via native CM (firewall bypassed)"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanNetwork, Name: "rdma-tcp-cm-qp",
+		Attempt: func() (bool, string) {
+			qp, err := attackerHost.SetupQP(attacker.Cred, netsim.QPViaTCP, vjobNode, 5000)
+			if err == nil {
+				qp.Close()
+				return true, "QP control channel connected cross-user"
+			}
+			return false, "UBF dropped QP control channel"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanPortal, Name: "portal-cross-user-forward",
+		Attempt: func() (bool, string) {
+			tok, err := c.Portal.Login(attacker.Cred, "attacker-pw")
+			if err != nil {
+				return false, err.Error()
+			}
+			if _, err := c.Portal.Forward(tok, "/jupyter/victim", []byte("GET /")); err == nil {
+				return true, "reached victim's web app through portal"
+			}
+			return false, "portal forward denied end-to-end"
+		},
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanGPU, Name: "gpu-memory-residue",
+		Attempt: func() (bool, string) { return gpuResidueProbe(c, victim, attacker) },
+	})
+	s.Add(audit.Probe{
+		Channel: audit.ChanContainer, Name: "container-home-read",
+		Attempt: func() (bool, string) {
+			c.Containers.ImportImage("probe-img", nil)
+			c.Containers.Allow(attacker.UID)
+			node := c.Compute[len(c.Compute)-1]
+			ct, err := c.Containers.Run(attacker.Cred, node, c.NS[node.Name], attackerHost,
+				container.RunSpec{Image: "probe-img"})
+			if err != nil {
+				return false, err.Error()
+			}
+			if _, err := ct.ReadFile(victim.HomePath + "/results.csv"); err == nil {
+				return true, "read victim home from inside container"
+			}
+			return false, "host FS controls bound inside container"
+		},
+	})
+	return nil
+}
+
+// gpuResidueProbe runs the two-job GPU handover: the victim's GPU job
+// writes a secret to device memory; after it ends, the attacker's GPU
+// job reads the same region.
+func gpuResidueProbe(c *Cluster, victim, attacker *User) (bool, string) {
+	secret := []byte("VICTIM-GPU-WEIGHTS")
+	vj, err := c.Sched.Submit(victim.Cred, sched.JobSpec{
+		Name: "gpu-train", Command: "train", Cores: 1, MemB: 1, GPUs: 1, Duration: 2,
+	})
+	if err != nil {
+		return false, err.Error()
+	}
+	c.Step()
+	job, err := c.Sched.Job(vj.ID)
+	if err != nil || job.State != sched.Running {
+		return false, fmt.Sprintf("victim gpu job not running: %v", err)
+	}
+	gpuNode := job.Nodes[0]
+	var dev = c.GPUs.Devices(gpuNode)[0]
+	// In the baseline (no perms assignment) any device works; in the
+	// enhanced config the prolog assigned dev0 on this node.
+	for _, d := range c.GPUs.Devices(gpuNode) {
+		if d.Assigned() == victim.UID {
+			dev = d
+		}
+	}
+	if err := dev.Write(victim.Cred, 512, secret); err != nil {
+		return false, fmt.Sprintf("victim gpu write failed: %v", err)
+	}
+	// Victim job ends; device is released (and cleared, if configured).
+	c.RunAll(4)
+	// Attacker gets a GPU job on the same node pool.
+	aj, err := c.Sched.Submit(attacker.Cred, sched.JobSpec{
+		Name: "gpu-probe", Command: "probe", Cores: 1, MemB: 1, GPUs: 1, Duration: 8,
+	})
+	if err != nil {
+		return false, err.Error()
+	}
+	for i := 0; i < 10; i++ {
+		c.Step()
+		j, _ := c.Sched.Job(aj.ID)
+		if j.State == sched.Running {
+			break
+		}
+	}
+	j, _ := c.Sched.Job(aj.ID)
+	if j.State != sched.Running {
+		return false, "attacker gpu job never started"
+	}
+	// Read residue from every device on the attacker's node, then
+	// tear the probe job down so it does not grant the attacker a
+	// legitimate pam_slurm foothold for later probes.
+	leaked := false
+	for _, d := range c.GPUs.Devices(j.Nodes[0]) {
+		data, err := d.Read(attacker.Cred, 512, len(secret))
+		if err != nil {
+			continue
+		}
+		if bytes.Equal(data, secret) {
+			leaked = true
+		}
+	}
+	_ = c.Sched.Cancel(attacker.Cred, aj.ID)
+	if leaked {
+		return true, "previous user's data read from GPU memory"
+	}
+	return false, "no residue readable (cleared or access denied)"
+}

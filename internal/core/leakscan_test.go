@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/sched"
+)
+
+// scanTopo gives the scan room for the victim's eternal job plus GPU
+// jobs on both sides.
+func scanTopo() Topology {
+	return Topology{ComputeNodes: 4, LoginNodes: 2, CoresPerNode: 8, MemPerNode: 1 << 20, GPUsPerNode: 2}
+}
+
+func resultsByName(rep *audit.Report) map[string]audit.Result {
+	out := make(map[string]audit.Result, len(rep.Results))
+	for _, r := range rep.Results {
+		out[r.Probe.Name] = r
+	}
+	return out
+}
+
+func TestLeakScanBaselineLeaksEverywhere(t *testing.T) {
+	// The paper's "before" picture: every channel in §IV is open on a
+	// stock system.
+	c := MustNew(Baseline(), scanTopo())
+	rep, err := LeakScan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unexpected, residual := rep.Leaks()
+	if residual != 3 {
+		t.Errorf("baseline residual leaks = %d, want 3", residual)
+	}
+	if unexpected == 0 {
+		t.Fatalf("baseline shows no leaks at all?\n%s", rep.Table().Render())
+	}
+	byName := resultsByName(rep)
+	for _, name := range []string{
+		"ps-foreign-visible", "cmdline-secret-read",
+		"squeue-foreign-job", "ssh-roam-to-victim-node",
+		"home-file-read", "chmod-world-readable", "acl-grant-to-stranger",
+		"tmp-content-read", "tmp-symlink-planting", "cross-user-dial", "rdma-tcp-cm-qp",
+		"portal-cross-user-forward", "gpu-memory-residue",
+		"container-home-read",
+	} {
+		r, ok := byName[name]
+		if !ok {
+			t.Errorf("probe %q missing", name)
+			continue
+		}
+		if !r.Leaked {
+			t.Errorf("baseline: probe %q unexpectedly closed (%s)", name, r.Detail)
+		}
+	}
+}
+
+func TestLeakScanEnhancedClosesAllButResidual(t *testing.T) {
+	// The paper's headline result (§V): under the enhanced
+	// configuration every cross-user channel is closed except the
+	// three acknowledged residuals.
+	c := MustNew(Enhanced(), scanTopo())
+	rep, err := LeakScan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unexpected, residual := rep.Leaks()
+	if unexpected != 0 {
+		t.Fatalf("enhanced: %d unexpected leaks:\n%s", unexpected, rep.Table().Render())
+	}
+	if residual != 3 {
+		t.Errorf("enhanced residual channels = %d, want exactly 3 (tmp names, abstract sockets, native-CM RDMA)", residual)
+	}
+	byName := resultsByName(rep)
+	for _, name := range []string{"tmp-filename-listing", "abstract-socket-send", "rdma-native-cm-qp"} {
+		r := byName[name]
+		if !r.Leaked || !r.Probe.Residual {
+			t.Errorf("residual probe %q: leaked=%v residual=%v (%s)", name, r.Leaked, r.Probe.Residual, r.Detail)
+		}
+	}
+}
+
+func TestLeakScanProbeCountStable(t *testing.T) {
+	c := MustNew(Enhanced(), scanTopo())
+	rep, err := LeakScan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 17 {
+		t.Errorf("probe count = %d, want 17 (update DESIGN.md if you add probes)", len(rep.Results))
+	}
+}
+
+func TestLeakScanAblations(t *testing.T) {
+	// Flipping exactly one measure off must re-open exactly the
+	// channels it guards — the per-measure attribution of §IV.
+	cases := []struct {
+		name     string
+		mutate   func(*Config)
+		reopened []string
+	}{
+		{"no-hidepid", func(cfg *Config) { cfg.HidePID = 0 },
+			[]string{"ps-foreign-visible", "cmdline-secret-read"}},
+		{"no-privatedata", func(cfg *Config) { cfg.PrivateData = false },
+			[]string{"squeue-foreign-job"}},
+		{"no-pam", func(cfg *Config) { cfg.PamSlurm = false },
+			[]string{"ssh-roam-to-victim-node"}},
+		{"no-smask", func(cfg *Config) { cfg.SmaskEnabled = false },
+			[]string{"chmod-world-readable", "tmp-content-read"}},
+		{"no-ubf", func(cfg *Config) { cfg.UBFEnabled = false },
+			[]string{"cross-user-dial", "rdma-tcp-cm-qp", "portal-cross-user-forward"}},
+		// The GPU ablation also drops to the shared policy: under
+		// user-wholenode the attacker never colocates with the
+		// victim's GPU, so whole-node scheduling masks the missing
+		// epilog clear — defense in depth working as the paper says.
+		{"no-gpu-clear", func(cfg *Config) {
+			cfg.GPUClear = false
+			cfg.GPUAssignPerms = false
+			cfg.Policy = sched.PolicyShared
+		}, []string{"gpu-memory-residue"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Enhanced()
+			cfg.Name = tc.name
+			tc.mutate(&cfg)
+			rep, err := LeakScan(MustNew(cfg, scanTopo()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			byName := resultsByName(rep)
+			for _, probe := range tc.reopened {
+				if !byName[probe].Leaked {
+					t.Errorf("%s: probe %q should have re-opened (%s)", tc.name, probe, byName[probe].Detail)
+				}
+			}
+			// And nothing else beyond the expected set + residuals.
+			expected := map[string]bool{}
+			for _, p := range tc.reopened {
+				expected[p] = true
+			}
+			for _, r := range rep.Results {
+				if r.Leaked && !r.Probe.Residual && !expected[r.Probe.Name] {
+					t.Errorf("%s: unexpected extra leak %q (%s)", tc.name, r.Probe.Name, r.Detail)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE13Shape(t *testing.T) {
+	rows := E13PPSComparison().Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byPolicy := map[string][]string{}
+	for _, r := range rows {
+		byPolicy[r[0]] = r
+	}
+	strict := byPolicy["PPS, strict service list"]
+	open := byPolicy["PPS, open user-port range"]
+	u := byPolicy["user-based firewall"]
+	// Strict PPS blocks the owner's own app.
+	if strict[1] != "no" {
+		t.Errorf("strict PPS admitted the novel app")
+	}
+	// Open PPS admits everyone, including the stranger.
+	if open[1] != "yes" || open[2] != "no" {
+		t.Errorf("open PPS = %v, want owner yes / stranger NOT blocked", open)
+	}
+	// UBF: both correct, no pre-approval.
+	if u[1] != "yes" || u[2] != "yes" || u[3] != "no" {
+		t.Errorf("UBF row = %v", u)
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	rows := E14CryptoMPIComparison().Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		switch {
+		case strings.HasPrefix(r[0], "UBF"):
+			// Fixed setup cost: >= 2 ident queries per connection,
+			// zero crypto ops, stranger blocked, payload in clear.
+			if atoi(t, r[1]) < 200 || atoi(t, r[2]) != 0 {
+				t.Errorf("UBF row costs = %v", r)
+			}
+			if r[3] != "yes" {
+				t.Errorf("UBF did not block the stranger")
+			}
+			if r[4] != "no" {
+				t.Errorf("UBF claims wire confidentiality")
+			}
+		case strings.HasPrefix(r[0], "encrypted MPI"):
+			// Per-packet cost (100×50 ops), no ident, stranger NOT
+			// blocked, payload confidential.
+			if atoi(t, r[1]) != 0 || atoi(t, r[2]) != 5000 {
+				t.Errorf("crypto row costs = %v", r)
+			}
+			if r[3] != "no" {
+				t.Errorf("crypto MPI blocked the stranger (it cannot)")
+			}
+			if r[4] != "yes" {
+				t.Errorf("crypto MPI leaked plaintext on the wire")
+			}
+		default:
+			t.Errorf("unexpected row %v", r)
+		}
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	rows := E15MitigationTax().Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	inBand := 0
+	for _, r := range rows {
+		if strings.HasPrefix(r[0], "compute-bound") {
+			// Compute-bound must be near zero.
+			if !strings.HasPrefix(r[1], "0.") && !strings.HasPrefix(r[1], "1.") && !strings.HasPrefix(r[1], "2.") && !strings.HasPrefix(r[1], "3.") && !strings.HasPrefix(r[1], "4.") {
+				t.Errorf("compute-bound slowdown = %s, want < 5%%", r[1])
+			}
+			continue
+		}
+		if r[2] == "yes" {
+			inBand++
+		}
+	}
+	if inBand != 3 {
+		t.Errorf("%d/3 kernel-heavy workloads in the 15-40%% band", inBand)
+	}
+}

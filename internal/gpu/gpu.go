@@ -1,0 +1,231 @@
+// Package gpu implements the accelerator substrate and the paper's
+// GPU separation measures (§IV-F). GPUs "do not use a traditional
+// security model for data resident in memory": device memory has no
+// ownership concept and is NOT cleared between jobs. The paper's two
+// measures are reproduced here:
+//
+//  1. assignment: the scheduler prolog chowns the GPU's /dev character
+//     file to the allocated user's private group, so unassigned GPUs
+//     are not visible at all;
+//  2. clearing: the scheduler epilog runs the vendor memory-clear so
+//     the next user cannot read the previous user's residue.
+//
+// Both are toggles so the baseline (leaky) behaviour is measurable.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/sched"
+	"repro/internal/simos"
+)
+
+// Device is one GPU: a slab of device memory that persists across
+// jobs unless explicitly cleared.
+type Device struct {
+	Index   int
+	DevPath string
+	node    *simos.Node
+
+	mu       sync.Mutex
+	mem      []byte
+	assigned ids.UID // NoUID when free
+	jobID    int
+}
+
+// GPU errors.
+var (
+	ErrNotAssigned = errors.New("gpu: device not assigned to caller")
+	ErrBusy        = errors.New("gpu: device already assigned")
+	ErrOOB         = errors.New("gpu: address out of range")
+)
+
+// MemSize is the simulated device memory per GPU.
+const MemSize = 1 << 16
+
+// newDevice registers a GPU on a node with unassigned (invisible)
+// permissions.
+func newDevice(node *simos.Node, index int) *Device {
+	d := &Device{
+		Index:   index,
+		DevPath: fmt.Sprintf("/dev/nvidia%d", index),
+		node:    node,
+		mem:     make([]byte, MemSize),
+	}
+	d.assigned = ids.NoUID
+	// Unassigned: mode 000 — "GPUs that have not been assigned to a
+	// user are not visible at all."
+	node.AddDev(d.DevPath, ids.Root, ids.RootGroup, 0o000)
+	return d
+}
+
+// open validates device access: the caller must pass the /dev
+// permission check, which after assignment admits only the assigned
+// user's private group.
+func (d *Device) open(cred ids.Credential) error {
+	_, err := d.node.OpenDev(cred, d.DevPath)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNotAssigned, err)
+	}
+	return nil
+}
+
+// Write stores data at offset in device memory.
+func (d *Device) Write(cred ids.Credential, offset int, data []byte) error {
+	if err := d.open(cred); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if offset < 0 || offset+len(data) > len(d.mem) {
+		return fmt.Errorf("%w: [%d,%d)", ErrOOB, offset, offset+len(data))
+	}
+	copy(d.mem[offset:], data)
+	return nil
+}
+
+// Read returns length bytes at offset. If the device was handed over
+// without clearing, this is where the previous user's residue leaks.
+func (d *Device) Read(cred ids.Credential, offset, length int) ([]byte, error) {
+	if err := d.open(cred); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if offset < 0 || offset+length > len(d.mem) {
+		return nil, fmt.Errorf("%w: [%d,%d)", ErrOOB, offset, offset+length)
+	}
+	return append([]byte(nil), d.mem[offset:offset+length]...), nil
+}
+
+// clear zeroes device memory — the vendor-provided epilog step.
+func (d *Device) clear() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.mem {
+		d.mem[i] = 0
+	}
+}
+
+// Assigned returns the currently assigned user (NoUID if free).
+func (d *Device) Assigned() ids.UID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.assigned
+}
+
+// Manager owns every GPU in the cluster and provides the scheduler
+// prolog/epilog hooks.
+type Manager struct {
+	// ClearOnRelease runs the vendor memory-clear in the epilog
+	// (paper's deployment: on; baseline: off).
+	ClearOnRelease bool
+	// AssignDevPerms narrows /dev permissions to the allocated user
+	// (paper's deployment: on; baseline: world-accessible devices).
+	AssignDevPerms bool
+
+	mu     sync.Mutex
+	byNode map[string][]*Device
+}
+
+// NewManager equips each node with gpusPerNode devices.
+func NewManager(nodes []*simos.Node, gpusPerNode int, assignPerms, clearOnRelease bool) *Manager {
+	m := &Manager{
+		ClearOnRelease: clearOnRelease,
+		AssignDevPerms: assignPerms,
+		byNode:         make(map[string][]*Device),
+	}
+	for _, n := range nodes {
+		for i := 0; i < gpusPerNode; i++ {
+			d := newDevice(n, i)
+			if !assignPerms {
+				// Baseline: devices world-accessible like stock
+				// drivers (crw-rw-rw-).
+				n.AddDev(d.DevPath, ids.Root, ids.RootGroup, 0o666)
+			}
+			m.byNode[n.Name] = append(m.byNode[n.Name], d)
+		}
+	}
+	return m
+}
+
+// Devices returns the devices on a node.
+func (m *Manager) Devices(node string) []*Device {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Device(nil), m.byNode[node]...)
+}
+
+// Prolog is the scheduler job-start hook: assign free GPUs on the
+// node to the job's user by narrowing /dev permissions to their
+// user-private group.
+func (m *Manager) Prolog(job *sched.Job, node *simos.Node) error {
+	if job.Spec.GPUs == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	need := job.Spec.GPUs
+	for _, d := range m.byNode[node.Name] {
+		if need == 0 {
+			break
+		}
+		d.mu.Lock()
+		free := d.assigned == ids.NoUID
+		if free {
+			d.assigned = job.User
+			d.jobID = job.ID
+		}
+		d.mu.Unlock()
+		if !free {
+			continue
+		}
+		if m.AssignDevPerms {
+			if err := node.ChownDev(ids.RootCred(), d.DevPath, ids.Root, job.Cred.EGID, 0o660); err != nil {
+				return err
+			}
+		}
+		need--
+	}
+	if need > 0 {
+		return fmt.Errorf("%w: node %s short %d gpus for job %d", ErrBusy, node.Name, need, job.ID)
+	}
+	return nil
+}
+
+// Epilog is the scheduler job-end hook: optionally clear memory, then
+// return devices to the unassigned (invisible) state.
+func (m *Manager) Epilog(job *sched.Job, node *simos.Node) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.byNode[node.Name] {
+		d.mu.Lock()
+		owned := d.jobID == job.ID
+		if owned {
+			d.assigned = ids.NoUID
+			d.jobID = 0
+		}
+		d.mu.Unlock()
+		if !owned {
+			continue
+		}
+		if m.ClearOnRelease {
+			d.clear()
+		}
+		if m.AssignDevPerms {
+			if err := node.ChownDev(ids.RootCred(), d.DevPath, ids.Root, ids.RootGroup, 0o000); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Register wires the manager into a scheduler.
+func (m *Manager) Register(s *sched.Scheduler) {
+	s.AddProlog(m.Prolog)
+	s.AddEpilog(m.Epilog)
+}

@@ -1,0 +1,284 @@
+package ids
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the cluster-wide identity database: the equivalent of
+// LDAP/passwd/group on the real system. It enforces the
+// user-private-group scheme: creating a user always creates a private
+// group for them, and private groups can never gain a second member.
+type Registry struct {
+	mu      sync.RWMutex
+	nextUID UID
+	nextGID GID
+	users   map[UID]*User
+	byName  map[string]UID
+	groups  map[GID]*Group
+	gByName map[string]GID
+}
+
+// Registry errors.
+var (
+	ErrExists        = errors.New("ids: name already exists")
+	ErrNoSuchUser    = errors.New("ids: no such user")
+	ErrNoSuchGroup   = errors.New("ids: no such group")
+	ErrPrivateGroup  = errors.New("ids: user-private groups cannot change membership")
+	ErrNotSteward    = errors.New("ids: caller is not a data steward of the group")
+	ErrNotMember     = errors.New("ids: user is not a member of the group")
+	ErrAlreadyMember = errors.New("ids: user is already a member of the group")
+)
+
+// NewRegistry returns a registry pre-populated with root (uid 0) and
+// root's group (gid 0).
+func NewRegistry() *Registry {
+	r := &Registry{
+		nextUID: 1000,
+		nextGID: 1000,
+		users:   make(map[UID]*User),
+		byName:  make(map[string]UID),
+		groups:  make(map[GID]*Group),
+		gByName: make(map[string]GID),
+	}
+	r.groups[RootGroup] = &Group{
+		GID: RootGroup, Name: "root", Private: true,
+		members: map[UID]bool{Root: true},
+	}
+	r.gByName["root"] = RootGroup
+	r.users[Root] = &User{UID: Root, Name: "root", Primary: RootGroup, HomePath: "/root"}
+	r.byName["root"] = Root
+	return r
+}
+
+// AddUser creates a user plus their user-private group (same name).
+// The home path follows the paper's layout: /home/<name>.
+func (r *Registry) AddUser(name string) (*User, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		return nil, fmt.Errorf("%w: user %q", ErrExists, name)
+	}
+	if _, dup := r.gByName[name]; dup {
+		return nil, fmt.Errorf("%w: group %q", ErrExists, name)
+	}
+	uid := r.nextUID
+	gid := r.nextGID
+	r.nextUID++
+	r.nextGID++
+	g := &Group{GID: gid, Name: name, Private: true, members: map[UID]bool{uid: true}}
+	u := &User{UID: uid, Name: name, Primary: gid, HomePath: "/home/" + name}
+	r.groups[gid] = g
+	r.gByName[name] = gid
+	r.users[uid] = u
+	r.byName[name] = uid
+	return u, nil
+}
+
+// AddProjectGroup creates an approved project group with the given
+// data stewards. Stewards are implicitly members.
+func (r *Registry) AddProjectGroup(name string, stewards ...UID) (*Group, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.gByName[name]; dup {
+		return nil, fmt.Errorf("%w: group %q", ErrExists, name)
+	}
+	for _, s := range stewards {
+		if _, ok := r.users[s]; !ok {
+			return nil, fmt.Errorf("%w: steward uid %d", ErrNoSuchUser, s)
+		}
+	}
+	gid := r.nextGID
+	r.nextGID++
+	g := &Group{GID: gid, Name: name, Stewards: append([]UID(nil), stewards...), members: make(map[UID]bool)}
+	for _, s := range stewards {
+		g.members[s] = true
+	}
+	r.groups[gid] = g
+	r.gByName[name] = gid
+	return g, nil
+}
+
+// AddToGroup adds uid to a project group. Only a data steward of the
+// group (or root) may do so; user-private groups are immutable
+// (paper §IV-C: stewards approve adding and deleting users).
+func (r *Registry) AddToGroup(actor UID, gid GID, uid UID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[gid]
+	if !ok {
+		return fmt.Errorf("%w: gid %d", ErrNoSuchGroup, gid)
+	}
+	if g.Private {
+		return ErrPrivateGroup
+	}
+	if actor != Root && !g.IsSteward(actor) {
+		return ErrNotSteward
+	}
+	if _, ok := r.users[uid]; !ok {
+		return fmt.Errorf("%w: uid %d", ErrNoSuchUser, uid)
+	}
+	if g.members[uid] {
+		return ErrAlreadyMember
+	}
+	g.members[uid] = true
+	return nil
+}
+
+// RemoveFromGroup removes uid from a project group; steward-gated
+// like AddToGroup. Stewards cannot be removed except by root.
+func (r *Registry) RemoveFromGroup(actor UID, gid GID, uid UID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[gid]
+	if !ok {
+		return fmt.Errorf("%w: gid %d", ErrNoSuchGroup, gid)
+	}
+	if g.Private {
+		return ErrPrivateGroup
+	}
+	if actor != Root && !g.IsSteward(actor) {
+		return ErrNotSteward
+	}
+	if !g.members[uid] {
+		return ErrNotMember
+	}
+	if g.IsSteward(uid) && actor != Root {
+		return fmt.Errorf("%w: cannot remove steward uid %d", ErrNotSteward, uid)
+	}
+	delete(g.members, uid)
+	return nil
+}
+
+// User returns the user with the given UID.
+func (r *Registry) User(uid UID) (*User, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.users[uid]
+	if !ok {
+		return nil, fmt.Errorf("%w: uid %d", ErrNoSuchUser, uid)
+	}
+	return u, nil
+}
+
+// UserByName resolves a login name.
+func (r *Registry) UserByName(name string) (*User, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	uid, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchUser, name)
+	}
+	return r.users[uid], nil
+}
+
+// Group returns the group with the given GID.
+func (r *Registry) Group(gid GID) (*Group, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.groups[gid]
+	if !ok {
+		return nil, fmt.Errorf("%w: gid %d", ErrNoSuchGroup, gid)
+	}
+	return g, nil
+}
+
+// GroupByName resolves a group name.
+func (r *Registry) GroupByName(name string) (*Group, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	gid, ok := r.gByName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchGroup, name)
+	}
+	return r.groups[gid], nil
+}
+
+// GroupsOf returns the GIDs the user belongs to (primary first, the
+// rest sorted), i.e. the supplemental group set a login session gets.
+func (r *Registry) GroupsOf(uid UID) ([]GID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.users[uid]
+	if !ok {
+		return nil, fmt.Errorf("%w: uid %d", ErrNoSuchUser, uid)
+	}
+	var rest []GID
+	for gid, g := range r.groups {
+		if gid != u.Primary && g.members[uid] {
+			rest = append(rest, gid)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	return append([]GID{u.Primary}, rest...), nil
+}
+
+// LoginCredential builds the credential a fresh login session gets:
+// uid, egid = user-private group, supplemental groups = all groups the
+// user is a member of.
+func (r *Registry) LoginCredential(uid UID) (Credential, error) {
+	groups, err := r.GroupsOf(uid)
+	if err != nil {
+		return Credential{}, err
+	}
+	r.mu.RLock()
+	primary := r.users[uid].Primary
+	r.mu.RUnlock()
+	return Credential{UID: uid, EGID: primary, Groups: groups}, nil
+}
+
+// SwitchGroup implements newgrp/sg: returns a credential with the
+// effective GID switched to gid, but only if the user is a member.
+// This is the opt-in step that lets a listener accept project-group
+// peers through the UBF (paper §IV-D).
+func (r *Registry) SwitchGroup(c Credential, gid GID) (Credential, error) {
+	r.mu.RLock()
+	g, ok := r.groups[gid]
+	r.mu.RUnlock()
+	if !ok {
+		return c, fmt.Errorf("%w: gid %d", ErrNoSuchGroup, gid)
+	}
+	if !g.Has(c.UID) && !c.IsRoot() {
+		return c, fmt.Errorf("%w: uid %d not in gid %d", ErrNotMember, c.UID, gid)
+	}
+	return c.WithEGID(gid), nil
+}
+
+// SharedGroup reports whether two users share at least one
+// non-private group — the paper's definition of "allowed to share".
+func (r *Registry) SharedGroup(a, b UID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, g := range r.groups {
+		if !g.Private && g.members[a] && g.members[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// Users returns all UIDs sorted ascending.
+func (r *Registry) Users() []UID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]UID, 0, len(r.users))
+	for u := range r.users {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Groups returns all GIDs sorted ascending.
+func (r *Registry) Groups() []GID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GID, 0, len(r.groups))
+	for g := range r.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

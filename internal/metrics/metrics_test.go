@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E1 process visibility", "observer", "hidepid", "visible")
+	tb.AddRow("alice", 2, 20)
+	tb.AddRow("support", 2, 60)
+	tb.AddNote("exempt gid = %d", 500)
+	out := tb.Render()
+	for _, want := range []string{"E1 process visibility", "observer", "alice", "support", "note: exempt gid = 500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if len(tb.Rows()) != 2 {
+		t.Errorf("rows = %d", len(tb.Rows()))
+	}
+	// Rows returns copies.
+	tb.Rows()[0][0] = "tampered"
+	if tb.Rows()[0][0] != "alice" {
+		t.Errorf("Rows leaked internal state")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("t", "v")
+	tb.AddRow(0.123456)
+	if got := tb.Rows()[0][0]; got != "0.123" {
+		t.Errorf("float cell = %q", got)
+	}
+}
+
+func TestDistStats(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Quantile(0.5) != 0 || d.Max() != 0 || d.N() != 0 {
+		t.Errorf("empty dist not zero")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		d.Add(v)
+	}
+	if d.Mean() != 3 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if d.Quantile(0) != 1 || d.Quantile(1) != 5 {
+		t.Errorf("quantile ends = %v %v", d.Quantile(0), d.Quantile(1))
+	}
+	if d.Quantile(0.5) != 3 {
+		t.Errorf("median = %v", d.Quantile(0.5))
+	}
+	if d.Max() != 5 {
+		t.Errorf("max = %v", d.Max())
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Errorf("different seeds collided on first draw")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Errorf("Intn(<=0) != 0")
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	parent := NewRNG(99)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Errorf("split children correlated")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by [min, max].
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, qa, qb uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var d Dist
+		for _, v := range vals {
+			d.Add(v)
+		}
+		a := float64(qa%101) / 100
+		b := float64(qb%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		return d.Quantile(a) <= d.Quantile(b) &&
+			d.Quantile(0) <= d.Quantile(1) &&
+			d.Quantile(1) <= d.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

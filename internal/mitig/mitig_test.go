@@ -1,0 +1,78 @@
+package mitig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOffIsIdentity(t *testing.T) {
+	for _, w := range Profiles() {
+		base := w.ComputeUnits + w.SyscallUnits + w.SwitchUnits
+		if got := Off().Cost(w); got != base {
+			t.Errorf("%s: off cost = %v, want %v", w.Name, got, base)
+		}
+		if s := Slowdown(w, Off()); s != 0 {
+			t.Errorf("%s: off slowdown = %v", w.Name, s)
+		}
+	}
+}
+
+func TestPaperCalibration(t *testing.T) {
+	// The paper (§I, citing the authors' HPEC'18 study) reports a
+	// 15-40% impact for affected workloads and negligible impact for
+	// compute-bound codes. The calibrated default must reproduce that
+	// spread.
+	on := DefaultMitigations()
+	if s := Slowdown(ComputeBound, on); s > 0.05 {
+		t.Errorf("compute-bound slowdown = %.2f, want <= 5%%", s)
+	}
+	for _, w := range []Work{IOHeavy, CommLatency, Interactive} {
+		s := Slowdown(w, on)
+		if s < 0.15 || s > 0.40 {
+			t.Errorf("%s slowdown = %.2f, want within the paper's 15-40%% band", w.Name, s)
+		}
+	}
+}
+
+func TestCostMonotoneInFactors(t *testing.T) {
+	w := IOHeavy
+	weak := Config{Enabled: true, SyscallFactor: 1.2, SwitchFactor: 1.2}
+	strong := Config{Enabled: true, SyscallFactor: 2.5, SwitchFactor: 2.5}
+	if weak.Cost(w) >= strong.Cost(w) {
+		t.Errorf("cost not monotone in factors")
+	}
+}
+
+func TestZeroWork(t *testing.T) {
+	if s := Slowdown(Work{}, DefaultMitigations()); s != 0 {
+		t.Errorf("zero-work slowdown = %v", s)
+	}
+}
+
+// Property: slowdown is non-negative when factors >= 1, and zero when
+// the workload has no kernel component.
+func TestQuickSlowdownBounds(t *testing.T) {
+	f := func(cu, su, wu uint16, sf, wf uint8) bool {
+		cfg := Config{
+			Enabled:       true,
+			SyscallFactor: 1 + float64(sf%30)/10,
+			SwitchFactor:  1 + float64(wf%30)/10,
+		}
+		w := Work{ComputeUnits: float64(cu), SyscallUnits: float64(su), SwitchUnits: float64(wu)}
+		s := Slowdown(w, cfg)
+		if s < 0 {
+			return false
+		}
+		pure := Work{ComputeUnits: float64(cu)}
+		return Slowdown(pure, cfg) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkString(t *testing.T) {
+	if ComputeBound.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,235 @@
+package modules
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testRepo() *Repo {
+	r := NewRepo()
+	r.Add(&Module{
+		Name: "gcc", Version: "12.3",
+		Ops: []Op{
+			{PrependPath, "PATH", "/opt/gcc/12.3/bin"},
+			{SetEnv, "CC", "/opt/gcc/12.3/bin/gcc"},
+		},
+	})
+	r.Add(&Module{
+		Name: "gcc", Version: "13.1",
+		Ops: []Op{
+			{PrependPath, "PATH", "/opt/gcc/13.1/bin"},
+			{SetEnv, "CC", "/opt/gcc/13.1/bin/gcc"},
+		},
+	})
+	r.Add(&Module{
+		Name: "openmpi", Version: "4.1.6",
+		Requires: []string{"gcc"},
+		Ops: []Op{
+			{PrependPath, "PATH", "/opt/openmpi/bin"},
+			{PrependPath, "LD_LIBRARY_PATH", "/opt/openmpi/lib"},
+			{SetEnv, "MPI_HOME", "/opt/openmpi"},
+		},
+	})
+	r.Add(&Module{
+		Name: "intel-mpi", Version: "2021",
+		Conflicts: []string{"openmpi"},
+		Ops:       []Op{{SetEnv, "MPI_HOME", "/opt/intel"}},
+	})
+	return r
+}
+
+func TestLoadSetsEnvironment(t *testing.T) {
+	s := NewSession(testRepo(), map[string]string{"PATH": "/usr/bin"})
+	if err := s.Load("gcc/12.3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Getenv("PATH"); got != "/opt/gcc/12.3/bin:/usr/bin" {
+		t.Errorf("PATH = %q", got)
+	}
+	if got := s.Getenv("CC"); got != "/opt/gcc/12.3/bin/gcc" {
+		t.Errorf("CC = %q", got)
+	}
+}
+
+func TestDefaultVersionResolution(t *testing.T) {
+	r := testRepo()
+	// First added becomes default.
+	m, err := r.Resolve("gcc")
+	if err != nil || m.Version != "12.3" {
+		t.Fatalf("default = %v, %v", m, err)
+	}
+	if err := r.SetDefault("gcc", "13.1"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = r.Resolve("gcc")
+	if m.Version != "13.1" {
+		t.Errorf("default after SetDefault = %s", m.Version)
+	}
+	if err := r.SetDefault("gcc", "99"); !errors.Is(err, ErrNoModule) {
+		t.Errorf("bogus SetDefault err = %v", err)
+	}
+	if _, err := r.Resolve("ghost"); !errors.Is(err, ErrNoModule) {
+		t.Errorf("resolve ghost err = %v", err)
+	}
+	if _, err := r.Resolve("ghost/1"); !errors.Is(err, ErrNoModule) {
+		t.Errorf("resolve ghost/1 err = %v", err)
+	}
+}
+
+func TestDependencyEnforced(t *testing.T) {
+	s := NewSession(testRepo(), nil)
+	if err := s.Load("openmpi"); !errors.Is(err, ErrDependency) {
+		t.Errorf("load without dep err = %v", err)
+	}
+	if err := s.Load("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load("openmpi"); err != nil {
+		t.Fatalf("load with dep: %v", err)
+	}
+	// gcc cannot be unloaded while openmpi needs it.
+	if err := s.Unload("gcc"); !errors.Is(err, ErrDependency) {
+		t.Errorf("unload held dep err = %v", err)
+	}
+	if err := s.Unload("openmpi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unload("gcc"); err != nil {
+		t.Errorf("unload after release: %v", err)
+	}
+}
+
+func TestConflictEnforced(t *testing.T) {
+	s := NewSession(testRepo(), nil)
+	if err := s.Load("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load("openmpi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load("intel-mpi"); !errors.Is(err, ErrConflict) {
+		t.Errorf("conflicting load err = %v", err)
+	}
+}
+
+func TestDoubleLoadRejected(t *testing.T) {
+	s := NewSession(testRepo(), nil)
+	if err := s.Load("gcc/12.3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load("gcc/13.1"); !errors.Is(err, ErrLoaded) {
+		t.Errorf("second version load err = %v", err)
+	}
+}
+
+func TestUnloadRestoresEnvExactly(t *testing.T) {
+	base := map[string]string{"PATH": "/usr/bin", "CC": "cc"}
+	s := NewSession(testRepo(), base)
+	if err := s.Load("gcc/12.3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unload("gcc/12.3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Getenv("PATH"); got != "/usr/bin" {
+		t.Errorf("PATH after unload = %q", got)
+	}
+	if got := s.Getenv("CC"); got != "cc" {
+		t.Errorf("CC after unload = %q", got)
+	}
+	if err := s.Unload("gcc/12.3"); !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("double unload err = %v", err)
+	}
+}
+
+func TestUnloadRemovesCreatedVars(t *testing.T) {
+	s := NewSession(testRepo(), nil)
+	_ = s.Load("gcc")
+	_ = s.Load("openmpi")
+	if s.Getenv("MPI_HOME") == "" {
+		t.Fatal("MPI_HOME not set")
+	}
+	if err := s.Unload("openmpi"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Getenv("MPI_HOME"); got != "" {
+		t.Errorf("MPI_HOME after unload = %q (var did not exist before)", got)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	s := NewSession(testRepo(), map[string]string{"PATH": "/usr/bin"})
+	_ = s.Load("gcc")
+	_ = s.Load("openmpi")
+	s.Purge()
+	if len(s.Loaded()) != 0 {
+		t.Errorf("loaded after purge = %v", s.Loaded())
+	}
+	if got := s.Getenv("PATH"); got != "/usr/bin" {
+		t.Errorf("PATH after purge = %q", got)
+	}
+}
+
+func TestAvailSorted(t *testing.T) {
+	av := testRepo().Avail()
+	if len(av) != 4 {
+		t.Fatalf("avail = %v", av)
+	}
+	for i := 1; i < len(av); i++ {
+		if av[i-1] >= av[i] {
+			t.Errorf("avail not sorted: %v", av)
+		}
+	}
+}
+
+func TestAppendPath(t *testing.T) {
+	r := NewRepo()
+	r.Add(&Module{Name: "man", Version: "1", Ops: []Op{{AppendPath, "MANPATH", "/opt/man"}}})
+	s := NewSession(r, map[string]string{"MANPATH": "/usr/share/man"})
+	_ = s.Load("man")
+	if got := s.Getenv("MANPATH"); got != "/usr/share/man:/opt/man" {
+		t.Errorf("MANPATH = %q", got)
+	}
+	// Append to an unset var.
+	s2 := NewSession(r, nil)
+	_ = s2.Load("man")
+	if got := s2.Getenv("MANPATH"); got != "/opt/man" {
+		t.Errorf("MANPATH fresh = %q", got)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if PrependPath.String() != "prepend-path" || AppendPath.String() != "append-path" || SetEnv.String() != "setenv" || OpKind(9).String() != "?" {
+		t.Error("OpKind.String broken")
+	}
+}
+
+// Property: for any sequence of loads followed by unloading all of
+// them in reverse order, the environment returns exactly to base.
+func TestQuickLoadUnloadIdentity(t *testing.T) {
+	repo := testRepo()
+	f := func(pick []uint8) bool {
+		base := map[string]string{"PATH": "/usr/bin", "HOME": "/home/u"}
+		s := NewSession(repo, base)
+		specs := []string{"gcc/12.3", "gcc/13.1", "openmpi", "intel-mpi"}
+		var loadedOK []string
+		for _, p := range pick {
+			spec := specs[int(p)%len(specs)]
+			if err := s.Load(spec); err == nil {
+				m, _ := repo.Resolve(spec)
+				loadedOK = append(loadedOK, m.ID())
+			}
+		}
+		for i := len(loadedOK) - 1; i >= 0; i-- {
+			if err := s.Unload(loadedOK[i]); err != nil {
+				return false
+			}
+		}
+		return s.Getenv("PATH") == "/usr/bin" && s.Getenv("HOME") == "/home/u" &&
+			s.Getenv("CC") == "" && s.Getenv("MPI_HOME") == "" && len(s.Loaded()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

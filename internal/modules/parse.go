@@ -1,0 +1,136 @@
+package modules
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// Modulefile parsing. The site's modulefiles live on the shared
+// filesystem (maintained by support staff through smask_relax) in a
+// simplified Environment-Modules syntax:
+//
+//	#%Module
+//	module-whatis "GNU compiler collection"
+//	prereq gcc
+//	conflict intel-mpi
+//	prepend-path PATH /opt/gcc/12.3/bin
+//	append-path  MANPATH /opt/gcc/12.3/man
+//	setenv       CC /opt/gcc/12.3/bin/gcc
+//
+// Blank lines and #-comments are ignored (except the #%Module magic
+// on the first non-empty line, which is required).
+
+// Parse errors.
+var (
+	ErrBadModulefile = errors.New("modules: malformed modulefile")
+	ErrNoMagic       = errors.New("modules: missing #%Module magic")
+)
+
+// ParseModulefile parses one modulefile into a Module.
+func ParseModulefile(name, version, text string) (*Module, error) {
+	m := &Module{Name: name, Version: version}
+	sawMagic := false
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if !sawMagic {
+			if !strings.HasPrefix(line, "#%Module") {
+				return nil, fmt.Errorf("%w: %s/%s", ErrNoMagic, name, version)
+			}
+			sawMagic = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		verb := fields[0]
+		args := fields[1:]
+		switch verb {
+		case "module-whatis":
+			// Documentation only; accept any argument form.
+		case "prereq":
+			if len(args) != 1 {
+				return nil, parseErr(name, version, lineNo, "prereq wants 1 arg")
+			}
+			m.Requires = append(m.Requires, args[0])
+		case "conflict":
+			if len(args) != 1 {
+				return nil, parseErr(name, version, lineNo, "conflict wants 1 arg")
+			}
+			m.Conflicts = append(m.Conflicts, args[0])
+		case "prepend-path", "append-path", "setenv":
+			if len(args) != 2 {
+				return nil, parseErr(name, version, lineNo, verb+" wants 2 args")
+			}
+			kind := SetEnv
+			switch verb {
+			case "prepend-path":
+				kind = PrependPath
+			case "append-path":
+				kind = AppendPath
+			}
+			m.Ops = append(m.Ops, Op{Kind: kind, Var: args[0], Value: args[1]})
+		default:
+			return nil, parseErr(name, version, lineNo, "unknown verb "+verb)
+		}
+	}
+	if !sawMagic {
+		return nil, fmt.Errorf("%w: %s/%s (empty file)", ErrNoMagic, name, version)
+	}
+	return m, nil
+}
+
+func parseErr(name, version string, line int, msg string) error {
+	return fmt.Errorf("%w: %s/%s line %d: %s", ErrBadModulefile, name, version, line+1, msg)
+}
+
+// LoadTree builds a Repo from a modulefile tree on a filesystem:
+// root/<name>/<version> files, plus an optional root/<name>/.default
+// file naming the default version. The ctx decides what is visible —
+// project-group-restricted modulefiles simply fail the read and are
+// skipped, so module *visibility* follows filesystem permissions,
+// exactly as the paper intends shared software areas to work (§IV-G).
+func LoadTree(fs *vfs.FS, ctx vfs.Context, root string) (*Repo, error) {
+	repo := NewRepo()
+	names, err := fs.ReadDir(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		dir := root + "/" + name
+		versions, err := fs.ReadDir(ctx, dir)
+		if err != nil {
+			continue // unreadable (e.g. group-restricted): skip
+		}
+		var defaultVersion string
+		for _, v := range versions {
+			if v == ".default" {
+				if d, err := fs.ReadFile(ctx, dir+"/.default"); err == nil {
+					defaultVersion = strings.TrimSpace(string(d))
+				}
+				continue
+			}
+			text, err := fs.ReadFile(ctx, dir+"/"+v)
+			if err != nil {
+				continue
+			}
+			m, err := ParseModulefile(name, v, string(text))
+			if err != nil {
+				return nil, err
+			}
+			repo.Add(m)
+		}
+		if defaultVersion != "" {
+			if err := repo.SetDefault(name, defaultVersion); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return repo, nil
+}

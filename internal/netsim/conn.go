@@ -1,0 +1,253 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// Listener is a bound server socket. The owning credential is what
+// the UBF's listener-side ident query returns; its effective GID is
+// the "primary group of the listener process" the group rule keys on
+// (switchable via newgrp/sg before binding).
+type Listener struct {
+	host  *Host
+	proto Proto
+	port  int
+	cred  ids.Credential
+
+	mu      sync.Mutex
+	backlog []*Conn
+	closed  bool
+}
+
+// Listen binds a socket on the host. Binding below 1024 requires
+// root, like Linux.
+func (h *Host) Listen(cred ids.Credential, proto Proto, port int) (*Listener, error) {
+	if port < 1024 && !cred.IsRoot() {
+		return nil, fmt.Errorf("%w: privileged port %d", ErrConnRefused, port)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := portKey{proto, port}
+	if _, dup := h.listeners[key]; dup {
+		return nil, fmt.Errorf("%w: %s:%d/%s", ErrAddrInUse, h.name, port, proto)
+	}
+	l := &Listener{host: h, proto: proto, port: port, cred: cred.Clone()}
+	h.listeners[key] = l
+	return l, nil
+}
+
+// Close unbinds the listener.
+func (l *Listener) Close() {
+	l.host.mu.Lock()
+	delete(l.host.listeners, portKey{l.proto, l.port})
+	l.host.mu.Unlock()
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+}
+
+// Port returns the bound port.
+func (l *Listener) Port() int { return l.port }
+
+// Cred returns the owning credential (a copy).
+func (l *Listener) Cred() ids.Credential { return l.cred.Clone() }
+
+// Accept returns the next established inbound connection, if any.
+func (l *Listener) Accept() (*Conn, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.backlog) == 0 {
+		return nil, false
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, true
+}
+
+func (l *Listener) enqueue(c *Conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.backlog = append(l.backlog, c)
+}
+
+// Conn is an established flow. Both directions share the struct; the
+// dialer holds the same *Conn the acceptor sees.
+type Conn struct {
+	Tuple   FlowTuple
+	SrcCred ids.Credential
+	DstCred ids.Credential
+
+	mu      sync.Mutex
+	toDst   [][]byte // data sent by the dialer
+	toSrc   [][]byte // data sent by the acceptor
+	closed  bool
+	net     *Network
+	srcHost *Host
+}
+
+// Dial establishes a connection from a process with cred on this host
+// to dstHost:dstPort. The receiving host's firewall hook is consulted
+// for the NEW connection; once established, traffic flows via
+// conntrack without re-inspection (§IV-D).
+func (h *Host) Dial(cred ids.Credential, proto Proto, dstHost string, dstPort int) (*Conn, error) {
+	dst, err := h.net.Host(dstHost)
+	if err != nil {
+		return nil, err
+	}
+	srcPort, err := h.allocEphemeral(cred)
+	if err != nil {
+		return nil, err
+	}
+	flow := FlowTuple{Proto: proto, SrcHost: h.name, SrcPort: srcPort, DstHost: dstHost, DstPort: dstPort}
+
+	dst.mu.Lock()
+	l, listening := dst.listeners[portKey{proto, dstPort}]
+	hook := dst.hook
+	portFilter := dst.hookPorts
+	dst.mu.Unlock()
+
+	if !listening {
+		h.releaseEphemeral(srcPort)
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, flow)
+	}
+
+	// NEW connection: consult the firewall hook (nfqueue) unless the
+	// port is outside the inspected range.
+	if hook != nil && (portFilter == nil || portFilter(dstPort)) {
+		h.net.HookInvocations.Add(1)
+		if v := hook(h.net, flow); v != Accept {
+			h.net.NewConnDropped.Add(1)
+			h.releaseEphemeral(srcPort)
+			return nil, fmt.Errorf("%w: %s", ErrConnDropped, flow)
+		}
+	}
+	h.net.NewConnAccepted.Add(1)
+
+	c := &Conn{
+		Tuple:   flow,
+		SrcCred: cred.Clone(),
+		DstCred: l.cred.Clone(),
+		net:     h.net,
+		srcHost: h,
+	}
+	// conntrack entries on both hosts cover both directions.
+	dst.conntrack.add(flow)
+	dst.conntrack.add(flow.reverse())
+	h.conntrack.add(flow)
+	h.conntrack.add(flow.reverse())
+	l.enqueue(c)
+	return c, nil
+}
+
+// Send transmits a payload from the dialer side. Established flows
+// are validated against conntrack only — the per-packet fast path.
+func (c *Conn) Send(data []byte) error {
+	return c.send(data, true)
+}
+
+// SendReply transmits a payload from the acceptor side.
+func (c *Conn) SendReply(data []byte) error {
+	return c.send(data, false)
+}
+
+func (c *Conn) send(data []byte, fromSrc bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("%w: %s", ErrConnClosed, c.Tuple)
+	}
+	// conntrack lookup (cheap map hit) — no firewall hook.
+	dst, err := c.net.Host(c.Tuple.DstHost)
+	if err != nil {
+		return err
+	}
+	if !dst.conntrack.established(c.Tuple) {
+		return fmt.Errorf("%w: %s not in conntrack", ErrConnClosed, c.Tuple)
+	}
+	c.net.PacketsDelivered.Add(1)
+	buf := append([]byte(nil), data...)
+	if fromSrc {
+		c.toDst = append(c.toDst, buf)
+	} else {
+		c.toSrc = append(c.toSrc, buf)
+	}
+	return nil
+}
+
+// Recv pops the next payload on the acceptor side.
+func (c *Conn) Recv() ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.toDst) == 0 {
+		return nil, false
+	}
+	d := c.toDst[0]
+	c.toDst = c.toDst[1:]
+	return d, true
+}
+
+// RecvReply pops the next payload on the dialer side.
+func (c *Conn) RecvReply() ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.toSrc) == 0 {
+		return nil, false
+	}
+	d := c.toSrc[0]
+	c.toSrc = c.toSrc[1:]
+	return d, true
+}
+
+// Close tears the flow down and removes conntrack state.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if dst, err := c.net.Host(c.Tuple.DstHost); err == nil {
+		dst.conntrack.remove(c.Tuple)
+		dst.conntrack.remove(c.Tuple.reverse())
+	}
+	c.srcHost.conntrack.remove(c.Tuple)
+	c.srcHost.conntrack.remove(c.Tuple.reverse())
+	c.srcHost.releaseEphemeral(c.Tuple.SrcPort)
+}
+
+// conntrack is the established-flow table.
+type conntrack struct {
+	mu    sync.RWMutex
+	flows map[FlowTuple]bool
+}
+
+func newConntrack() *conntrack {
+	return &conntrack{flows: make(map[FlowTuple]bool)}
+}
+
+func (ct *conntrack) add(f FlowTuple) {
+	ct.mu.Lock()
+	ct.flows[f] = true
+	ct.mu.Unlock()
+}
+
+func (ct *conntrack) remove(f FlowTuple) {
+	ct.mu.Lock()
+	delete(ct.flows, f)
+	ct.mu.Unlock()
+}
+
+func (ct *conntrack) established(f FlowTuple) bool {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return ct.flows[f]
+}
+
+// Established reports whether the flow is in this host's conntrack.
+func (h *Host) Established(f FlowTuple) bool {
+	return h.conntrack.established(f)
+}

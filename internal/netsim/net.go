@@ -1,0 +1,254 @@
+// Package netsim implements the simulated cluster network: TCP/UDP
+// sockets bound to node-local processes, a NetFilter-style firewall
+// hook invoked for NEW connections only (nfqueue + conntrack,
+// paper §IV-D), an RFC1413-style ident responder per host, abstract-
+// namespace unix domain sockets (a residual channel, §V), and RDMA
+// queue-pair setup via either a TCP control channel (UBF-controlled)
+// or the native IB connection manager (not controlled, §V).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ids"
+)
+
+// Proto is a transport protocol.
+type Proto int
+
+// Protocols.
+const (
+	TCP Proto = iota
+	UDP
+)
+
+func (p Proto) String() string {
+	if p == TCP {
+		return "tcp"
+	}
+	return "udp"
+}
+
+// Verdict is a firewall decision.
+type Verdict int
+
+// Verdicts.
+const (
+	Accept Verdict = iota
+	Drop
+)
+
+func (v Verdict) String() string {
+	if v == Accept {
+		return "ACCEPT"
+	}
+	return "DROP"
+}
+
+// FlowTuple identifies a connection attempt.
+type FlowTuple struct {
+	Proto   Proto
+	SrcHost string
+	SrcPort int
+	DstHost string
+	DstPort int
+}
+
+func (f FlowTuple) String() string {
+	return fmt.Sprintf("%s %s:%d -> %s:%d", f.Proto, f.SrcHost, f.SrcPort, f.DstHost, f.DstPort)
+}
+
+// reverse returns the tuple of the reply direction.
+func (f FlowTuple) reverse() FlowTuple {
+	return FlowTuple{Proto: f.Proto, SrcHost: f.DstHost, SrcPort: f.DstPort, DstHost: f.SrcHost, DstPort: f.SrcPort}
+}
+
+// HookFunc is the nfqueue userspace decision function. It runs on the
+// receiving host for NEW connections; established traffic bypasses it
+// via conntrack. net gives the hook access to ident queries.
+type HookFunc func(net *Network, flow FlowTuple) Verdict
+
+// Network errors.
+var (
+	ErrNoHost           = errors.New("netsim: no such host")
+	ErrConnRefused      = errors.New("netsim: connection refused")
+	ErrConnDropped      = errors.New("netsim: connection dropped by firewall")
+	ErrAddrInUse        = errors.New("netsim: address already in use")
+	ErrConnClosed       = errors.New("netsim: connection closed")
+	ErrNoEphemeral      = errors.New("netsim: ephemeral ports exhausted")
+	ErrNotListening     = errors.New("netsim: not listening")
+	ErrIdentUnavailable = errors.New("netsim: ident query failed")
+)
+
+// Network is the cluster fabric.
+type Network struct {
+	mu    sync.RWMutex
+	hosts map[string]*Host
+
+	// Stats counts hook invocations, ident queries and packets for
+	// the overhead experiment (E8).
+	HookInvocations  atomic.Int64
+	IdentQueries     atomic.Int64
+	PacketsDelivered atomic.Int64
+	NewConnAccepted  atomic.Int64
+	NewConnDropped   atomic.Int64
+}
+
+// NewNetwork creates an empty fabric.
+func NewNetwork() *Network {
+	return &Network{hosts: make(map[string]*Host)}
+}
+
+// AddHost registers a host by name. The returned Host carries the
+// per-host socket tables and firewall configuration.
+func (n *Network) AddHost(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := &Host{
+		name:      name,
+		net:       n,
+		listeners: make(map[portKey]*Listener),
+		conntrack: newConntrack(),
+		nextEphem: 32768,
+		abstract:  make(map[string]*AbstractSocket),
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host returns a host by name.
+func (n *Network) Host(name string) (*Host, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoHost, name)
+	}
+	return h, nil
+}
+
+// Hosts lists host names sorted.
+func (n *Network) Hosts() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ident performs the UBF's ident-style query: who owns the socket at
+// host:port/proto? For listener-side queries the port is the bound
+// port; for connector-side queries it is the ephemeral source port.
+// This models the RFC1413-like exchange of §IV-D: "an ident-like
+// query is sent from the receiving system to the initiating system to
+// get user information, and the same query run locally."
+func (n *Network) Ident(host string, proto Proto, port int) (ids.Credential, error) {
+	n.IdentQueries.Add(1)
+	h, err := n.Host(host)
+	if err != nil {
+		return ids.Credential{}, err
+	}
+	return h.identLocal(proto, port)
+}
+
+// ResetStats zeroes the counters (between bench phases).
+func (n *Network) ResetStats() {
+	n.HookInvocations.Store(0)
+	n.IdentQueries.Store(0)
+	n.PacketsDelivered.Store(0)
+	n.NewConnAccepted.Store(0)
+	n.NewConnDropped.Store(0)
+}
+
+type portKey struct {
+	proto Proto
+	port  int
+}
+
+// Host is one machine's network stack.
+type Host struct {
+	name string
+	net  *Network
+
+	mu        sync.Mutex
+	listeners map[portKey]*Listener
+	conntrack *conntrack
+	hook      HookFunc // nil = no firewall (baseline)
+	hookPorts func(port int) bool
+	nextEphem int
+	ephemeral map[int]ids.Credential // src ports of active outbound conns
+	abstract  map[string]*AbstractSocket
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// SetFirewall installs the nfqueue hook. portFilter selects which
+// destination ports are inspected — the paper configures "ports
+// numbered 1024 and above" (reproducibility appendix); nil inspects
+// all ports.
+func (h *Host) SetFirewall(hook HookFunc, portFilter func(port int) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hook = hook
+	h.hookPorts = portFilter
+}
+
+// ClearFirewall removes the hook (baseline configuration).
+func (h *Host) ClearFirewall() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hook = nil
+	h.hookPorts = nil
+}
+
+// identLocal resolves the credential owning a local socket.
+func (h *Host) identLocal(proto Proto, port int) (ids.Credential, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if l, ok := h.listeners[portKey{proto, port}]; ok {
+		return l.cred.Clone(), nil
+	}
+	if h.ephemeral != nil {
+		if c, ok := h.ephemeral[port]; ok {
+			return c.Clone(), nil
+		}
+	}
+	return ids.Credential{}, fmt.Errorf("%w: %s %s:%d", ErrIdentUnavailable, proto, h.name, port)
+}
+
+// allocEphemeral reserves an ephemeral source port bound to cred.
+func (h *Host) allocEphemeral(cred ids.Credential) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ephemeral == nil {
+		h.ephemeral = make(map[int]ids.Credential)
+	}
+	for i := 0; i < 28000; i++ {
+		p := h.nextEphem
+		h.nextEphem++
+		if h.nextEphem > 60999 {
+			h.nextEphem = 32768
+		}
+		if _, used := h.ephemeral[p]; !used {
+			if _, bound := h.listeners[portKey{TCP, p}]; !bound {
+				h.ephemeral[p] = cred.Clone()
+				return p, nil
+			}
+		}
+	}
+	return 0, ErrNoEphemeral
+}
+
+func (h *Host) releaseEphemeral(port int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.ephemeral, port)
+}

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// This file implements the two network-adjacent residual channels the
+// paper's Results section concedes remain open (§V):
+//
+//  1. abstract-namespace unix domain sockets: node-local, no
+//     filesystem permission bits, not covered by the UBF because they
+//     never traverse the IP stack;
+//  2. RDMA traffic whose queue pairs are set up with the native IB
+//     connection manager instead of a TCP control channel.
+
+// AbstractSocket is an abstract-namespace unix domain socket. Unlike
+// pathname sockets there is no inode, hence no permission check: any
+// local process can connect to any name. That is the leak.
+type AbstractSocket struct {
+	Name  string
+	Owner ids.Credential
+	host  *Host
+
+	msgs [][]byte
+	from []ids.UID
+}
+
+// ErrNoAbstract is returned when dialing an unbound abstract name.
+var ErrNoAbstract = errors.New("netsim: no such abstract socket")
+
+// ListenAbstract binds an abstract-namespace socket on the host.
+func (h *Host) ListenAbstract(cred ids.Credential, name string) (*AbstractSocket, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.abstract[name]; dup {
+		return nil, fmt.Errorf("%w: @%s", ErrAddrInUse, name)
+	}
+	s := &AbstractSocket{Name: name, Owner: cred.Clone(), host: h}
+	h.abstract[name] = s
+	return s, nil
+}
+
+// DialAbstract sends a datagram to a local abstract socket. There is
+// deliberately no credential check: the kernel performs none for the
+// abstract namespace, which is why it remains a residual channel.
+func (h *Host) DialAbstract(cred ids.Credential, name string, data []byte) error {
+	h.mu.Lock()
+	s, ok := h.abstract[name]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: @%s", ErrNoAbstract, name)
+	}
+	s.msgs = append(s.msgs, append([]byte(nil), data...))
+	s.from = append(s.from, cred.UID)
+	return nil
+}
+
+// AbstractNames lists bound abstract names — visible to every local
+// user (another facet of the leak: the names themselves).
+func (h *Host) AbstractNames() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.abstract))
+	for n := range h.abstract {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Recv pops the next datagram and its sender UID.
+func (s *AbstractSocket) Recv() ([]byte, ids.UID, bool) {
+	s.host.mu.Lock()
+	defer s.host.mu.Unlock()
+	if len(s.msgs) == 0 {
+		return nil, ids.NoUID, false
+	}
+	d, u := s.msgs[0], s.from[0]
+	s.msgs, s.from = s.msgs[1:], s.from[1:]
+	return d, u, true
+}
+
+// CloseAbstract unbinds the name.
+func (h *Host) CloseAbstract(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.abstract, name)
+}
+
+// --- RDMA ---
+
+// QPSetupMode is how an RDMA queue pair is established.
+type QPSetupMode int
+
+// QP setup modes (paper §IV-D and appendix).
+const (
+	// QPViaTCP sets up the queue pair over a TCP control channel —
+	// the common case for MPI/verbs frameworks, and therefore
+	// *implicitly controlled* by the UBF.
+	QPViaTCP QPSetupMode = iota
+	// QPViaNativeCM uses the InfiniBand connection manager directly —
+	// not covered by the UBF; the paper's acknowledged residual.
+	QPViaNativeCM
+)
+
+func (m QPSetupMode) String() string {
+	if m == QPViaTCP {
+		return "tcp-cm"
+	}
+	return "native-cm"
+}
+
+// QueuePair is an established RDMA connection.
+type QueuePair struct {
+	Mode    QPSetupMode
+	Local   string
+	Remote  string
+	SrcCred ids.Credential
+	ctrl    *Conn // non-nil for QPViaTCP
+}
+
+// SetupQP establishes an RDMA queue pair from this host to a peer.
+// With QPViaTCP, the setup dials ctrlPort over TCP first — so the UBF
+// verdict applies and a drop prevents the QP entirely. With
+// QPViaNativeCM, the CM exchange bypasses the IP firewall: setup
+// always succeeds if the peer exists.
+func (h *Host) SetupQP(cred ids.Credential, mode QPSetupMode, remote string, ctrlPort int) (*QueuePair, error) {
+	if mode == QPViaNativeCM {
+		if _, err := h.net.Host(remote); err != nil {
+			return nil, err
+		}
+		return &QueuePair{Mode: mode, Local: h.name, Remote: remote, SrcCred: cred.Clone()}, nil
+	}
+	c, err := h.Dial(cred, TCP, remote, ctrlPort)
+	if err != nil {
+		return nil, fmt.Errorf("rdma qp setup via tcp: %w", err)
+	}
+	return &QueuePair{Mode: mode, Local: h.name, Remote: remote, SrcCred: cred.Clone(), ctrl: c}, nil
+}
+
+// Write performs an RDMA write over the established QP. Once a QP
+// exists, data moves regardless of firewall state — exactly why
+// controlling setup is the only lever.
+func (qp *QueuePair) Write(data []byte) error {
+	if qp.ctrl != nil {
+		// Keep the control channel in conntrack; a closed control
+		// conn in real frameworks usually tears the QP down too.
+		return qp.ctrl.Send(data)
+	}
+	return nil
+}
+
+// Close tears down the QP and its control channel.
+func (qp *QueuePair) Close() {
+	if qp.ctrl != nil {
+		qp.ctrl.Close()
+	}
+}

@@ -1,0 +1,216 @@
+// Package portal implements the web portal/gateway substrate
+// (paper §IV-E): LLSC forwards web connections from applications
+// running on compute nodes (Jupyter, TensorBoard, ...) to the user's
+// browser through an authenticated HPC portal, instead of ad-hoc ssh
+// port forwarding.
+//
+// The separation property reproduced here: "User authentication is
+// required to connect to the HPC Portal and UBF connection rules are
+// enforced, so that the entire connection path is authenticated and
+// authorized" — the portal forwards with the *authenticated user's*
+// identity, so the UBF verdict between the portal host and the
+// compute node is the user's own, and apps can run "on any compute
+// node in any partition".
+package portal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// Portal errors (HTTP-status-like).
+var (
+	ErrUnauthenticated = errors.New("portal: 401 authentication required")
+	ErrForbidden       = errors.New("portal: 403 forbidden")
+	ErrNoRoute         = errors.New("portal: 404 no such application route")
+	ErrBadGateway      = errors.New("portal: 502 upstream connection failed")
+	ErrBadCredentials  = errors.New("portal: invalid credentials")
+)
+
+// Route is one registered web application.
+type Route struct {
+	Path  string // e.g. "/jupyter/alice-1"
+	Owner ids.UID
+	Node  string
+	Port  int
+}
+
+// Portal is the gateway daemon. It runs on a dedicated host of the
+// simulated network and proxies to compute nodes over that network,
+// so every forwarded hop is subject to whatever firewall the cluster
+// has installed.
+type Portal struct {
+	host *netsim.Host
+
+	mu       sync.Mutex
+	secrets  map[ids.UID]string // password store (the site SSO)
+	sessions map[string]ids.Credential
+	routes   map[string]*Route
+	nextTok  int
+}
+
+// New creates a portal bound to the given gateway host.
+func New(host *netsim.Host) *Portal {
+	return &Portal{
+		host:     host,
+		secrets:  make(map[ids.UID]string),
+		sessions: make(map[string]ids.Credential),
+		routes:   make(map[string]*Route),
+	}
+}
+
+// Enroll registers a user's portal password (site SSO enrolment).
+func (p *Portal) Enroll(uid ids.UID, password string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.secrets[uid] = password
+}
+
+// Login authenticates and returns a session token.
+func (p *Portal) Login(cred ids.Credential, password string) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	want, ok := p.secrets[cred.UID]
+	if !ok || want != password {
+		return "", fmt.Errorf("%w: uid %d", ErrBadCredentials, cred.UID)
+	}
+	p.nextTok++
+	tok := fmt.Sprintf("tok-%d-%d", cred.UID, p.nextTok)
+	p.sessions[tok] = cred.Clone()
+	return tok, nil
+}
+
+// Logout invalidates a session.
+func (p *Portal) Logout(token string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.sessions, token)
+}
+
+// Register adds an application route. The owner is whoever launched
+// the web app; routes are per-user and may point at ANY compute node
+// (the paper's "not restricted to a small partition").
+func (p *Portal) Register(owner ids.Credential, path, node string, port int) (*Route, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := &Route{Path: path, Owner: owner.UID, Node: node, Port: port}
+	p.routes[path] = r
+	return r, nil
+}
+
+// Unregister removes a route (owner or root).
+func (p *Portal) Unregister(actor ids.Credential, path string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.routes[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRoute, path)
+	}
+	if !actor.IsRoot() && actor.UID != r.Owner {
+		return fmt.Errorf("%w: %s", ErrForbidden, path)
+	}
+	delete(p.routes, path)
+	return nil
+}
+
+// Routes lists routes visible to the observer: their own (plus all,
+// for root) — route paths of other users are private too.
+func (p *Portal) Routes(observer ids.Credential) []*Route {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Route
+	for _, r := range p.routes {
+		if observer.IsRoot() || r.Owner == observer.UID {
+			cp := *r
+			out = append(out, &cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Forward handles one authenticated request: resolve the session,
+// resolve the route, and proxy to the compute node *as the
+// authenticated user*. The connection is made over the simulated
+// network, so the UBF hook on the compute node applies its usual
+// rule: if the session user does not own (or share a group with) the
+// listening app, the hop is dropped and the portal returns 502/403.
+func (p *Portal) Forward(token, path string, payload []byte) ([]byte, error) {
+	p.mu.Lock()
+	cred, authed := p.sessions[token]
+	r, routed := p.routes[path]
+	p.mu.Unlock()
+	if !authed {
+		return nil, ErrUnauthenticated
+	}
+	if !routed {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, path)
+	}
+	conn, err := p.host.Dial(cred, netsim.TCP, r.Node, r.Port)
+	if err != nil {
+		if errors.Is(err, netsim.ErrConnDropped) {
+			return nil, fmt.Errorf("%w: UBF denied %s for uid %d: %v", ErrForbidden, path, cred.UID, err)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadGateway, err)
+	}
+	defer conn.Close()
+	if err := conn.Send(payload); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadGateway, err)
+	}
+	// The app echoes a response in this simulation; a real app would
+	// be driven by its own handler loop (see AppServer).
+	return []byte(fmt.Sprintf("200 OK %s via %s:%d", path, r.Node, r.Port)), nil
+}
+
+// AppServer is a minimal web application (a Jupyter stand-in) bound
+// on a compute node. It records requests so tests can verify
+// delivery.
+type AppServer struct {
+	Listener *netsim.Listener
+
+	mu       sync.Mutex
+	requests [][]byte
+}
+
+// Serve launches an app server for cred on host:port.
+func Serve(host *netsim.Host, cred ids.Credential, port int) (*AppServer, error) {
+	l, err := host.Listen(cred, netsim.TCP, port)
+	if err != nil {
+		return nil, err
+	}
+	return &AppServer{Listener: l}, nil
+}
+
+// Drain pulls all pending connections' payloads into the request log
+// and returns how many requests arrived.
+func (a *AppServer) Drain() int {
+	n := 0
+	for {
+		c, ok := a.Listener.Accept()
+		if !ok {
+			return n
+		}
+		for {
+			d, ok := c.Recv()
+			if !ok {
+				break
+			}
+			a.mu.Lock()
+			a.requests = append(a.requests, d)
+			a.mu.Unlock()
+			n++
+		}
+	}
+}
+
+// Requests returns the received payloads.
+func (a *AppServer) Requests() [][]byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([][]byte(nil), a.requests...)
+}

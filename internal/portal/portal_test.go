@@ -1,0 +1,206 @@
+package portal
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/ubf"
+)
+
+// world: portal on a gateway host, two compute hosts, UBF everywhere.
+func world(t *testing.T) (*Portal, *netsim.Network, map[string]*netsim.Host, map[string]ids.Credential) {
+	t.Helper()
+	reg := ids.NewRegistry()
+	alice, _ := reg.AddUser("alice")
+	bob, _ := reg.AddUser("bob")
+	n := netsim.NewNetwork()
+	hosts := map[string]*netsim.Host{
+		"gw":  n.AddHost("gw"),
+		"c00": n.AddHost("c00"),
+		"c01": n.AddHost("c01"),
+	}
+	d := ubf.New(ubf.Config{AllowGroupPeers: true})
+	for _, h := range hosts {
+		d.InstallOn(h)
+	}
+	p := New(hosts["gw"])
+	creds := map[string]ids.Credential{}
+	for _, u := range []*ids.User{alice, bob} {
+		c, _ := reg.LoginCredential(u.UID)
+		creds[u.Name] = c
+		p.Enroll(u.UID, u.Name+"-pw")
+	}
+	return p, n, hosts, creds
+}
+
+func TestLoginAndBadCredentials(t *testing.T) {
+	p, _, _, creds := world(t)
+	if _, err := p.Login(creds["alice"], "wrong"); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("bad pw err = %v", err)
+	}
+	tok, err := p.Login(creds["alice"], "alice-pw")
+	if err != nil || tok == "" {
+		t.Fatalf("login: %q %v", tok, err)
+	}
+	// Unknown user.
+	ghost := ids.Credential{UID: 9999}
+	if _, err := p.Login(ghost, "x"); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("unknown user err = %v", err)
+	}
+}
+
+func TestForwardRequiresAuth(t *testing.T) {
+	p, _, hosts, creds := world(t)
+	if _, err := Serve(hosts["c00"], creds["alice"], 8888); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(creds["alice"], "/jupyter/alice", "c00", 8888); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forward("no-such-token", "/jupyter/alice", []byte("GET /")); !errors.Is(err, ErrUnauthenticated) {
+		t.Errorf("anon forward err = %v, want 401", err)
+	}
+}
+
+func TestForwardOwnerSucceedsAnyNode(t *testing.T) {
+	p, _, hosts, creds := world(t)
+	// Apps on two different compute nodes — "any compute node in any
+	// partition".
+	appA, err := Serve(hosts["c00"], creds["alice"], 8888)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appB, err := Serve(hosts["c01"], creds["alice"], 9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(creds["alice"], "/jupyter/a", "c00", 8888); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(creds["alice"], "/tensorboard/a", "c01", 9999); err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := p.Login(creds["alice"], "alice-pw")
+	for _, path := range []string{"/jupyter/a", "/tensorboard/a"} {
+		resp, err := p.Forward(tok, path, []byte("GET /api/status"))
+		if err != nil {
+			t.Errorf("forward %s: %v", path, err)
+		}
+		if len(resp) == 0 {
+			t.Errorf("empty response for %s", path)
+		}
+	}
+	if appA.Drain() != 1 || appB.Drain() != 1 {
+		t.Errorf("apps did not receive exactly one request each")
+	}
+	if string(appA.Requests()[0]) != "GET /api/status" {
+		t.Errorf("payload = %q", appA.Requests()[0])
+	}
+}
+
+func TestForwardCrossUserDeniedByUBF(t *testing.T) {
+	// Bob authenticates fine — but the forwarded hop runs as bob, so
+	// the UBF drops it at alice's listener: the whole path is
+	// authorized, not just the front door.
+	p, _, hosts, creds := world(t)
+	if _, err := Serve(hosts["c00"], creds["alice"], 8888); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(creds["alice"], "/jupyter/a", "c00", 8888); err != nil {
+		t.Fatal(err)
+	}
+	tokBob, err := p.Login(creds["bob"], "bob-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forward(tokBob, "/jupyter/a", []byte("GET /")); !errors.Is(err, ErrForbidden) {
+		t.Errorf("cross-user forward err = %v, want 403", err)
+	}
+}
+
+func TestForwardNoRouteAndDeadUpstream(t *testing.T) {
+	p, _, _, creds := world(t)
+	tok, _ := p.Login(creds["alice"], "alice-pw")
+	if _, err := p.Forward(tok, "/ghost", nil); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("no-route err = %v, want 404", err)
+	}
+	// Route registered but nothing listening: 502.
+	if _, err := p.Register(creds["alice"], "/dead", "c00", 7777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forward(tok, "/dead", nil); !errors.Is(err, ErrBadGateway) {
+		t.Errorf("dead upstream err = %v, want 502", err)
+	}
+}
+
+func TestLogoutInvalidatesSession(t *testing.T) {
+	p, _, hosts, creds := world(t)
+	if _, err := Serve(hosts["c00"], creds["alice"], 8888); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(creds["alice"], "/j", "c00", 8888); err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := p.Login(creds["alice"], "alice-pw")
+	p.Logout(tok)
+	if _, err := p.Forward(tok, "/j", nil); !errors.Is(err, ErrUnauthenticated) {
+		t.Errorf("post-logout forward err = %v, want 401", err)
+	}
+}
+
+func TestRouteVisibilityAndUnregister(t *testing.T) {
+	p, _, _, creds := world(t)
+	if _, err := p.Register(creds["alice"], "/a", "c00", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(creds["bob"], "/b", "c00", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Users see only their own routes.
+	if rs := p.Routes(creds["alice"]); len(rs) != 1 || rs[0].Path != "/a" {
+		t.Errorf("alice routes = %v", rs)
+	}
+	if rs := p.Routes(ids.RootCred()); len(rs) != 2 {
+		t.Errorf("root routes = %v", rs)
+	}
+	// Only the owner (or root) unregisters.
+	if err := p.Unregister(creds["alice"], "/b"); !errors.Is(err, ErrForbidden) {
+		t.Errorf("foreign unregister err = %v", err)
+	}
+	if err := p.Unregister(creds["bob"], "/b"); err != nil {
+		t.Errorf("own unregister: %v", err)
+	}
+	if err := p.Unregister(creds["bob"], "/b"); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("double unregister err = %v", err)
+	}
+}
+
+func TestBaselineNoUBFCrossUserForwardSucceeds(t *testing.T) {
+	// Ablation: with no firewall installed, bob's authenticated
+	// session reaches alice's app — authentication alone does not
+	// authorize the path (why the paper pairs the portal with UBF).
+	reg := ids.NewRegistry()
+	alice, _ := reg.AddUser("alice")
+	bob, _ := reg.AddUser("bob")
+	n := netsim.NewNetwork()
+	gw, c00 := n.AddHost("gw"), n.AddHost("c00")
+	_ = c00
+	p := New(gw)
+	ca, _ := reg.LoginCredential(alice.UID)
+	cb, _ := reg.LoginCredential(bob.UID)
+	p.Enroll(alice.UID, "a")
+	p.Enroll(bob.UID, "b")
+	host, _ := n.Host("c00")
+	if _, err := Serve(host, ca, 8888); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(ca, "/j", "c00", 8888); err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := p.Login(cb, "b")
+	if _, err := p.Forward(tok, "/j", []byte("GET /")); err != nil {
+		t.Errorf("baseline cross-user forward should succeed (leak): %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package ppsfw implements the comparator the paper argues against in
+// §IV-D: a traditional ports/protocols/services (PPS) firewall that
+// decides by destination port and protocol, with no notion of user.
+//
+// The paper's criticism, reproduced as experiment E13:
+//
+//	"A traditional PPS firewall would have no way to make an
+//	intelligent decision about a traffic flow consisting of a novel
+//	application still in its 'version 0' phase of development, but
+//	this is no impediment to making user-based decisions."
+//
+// A PPS firewall faces a dilemma on an HPC system: either the novel
+// app's port is not in the approved service list (the user's own
+// legitimate traffic is blocked), or the admin opens a wide port
+// range (cross-user traffic flows freely, because the rule cannot see
+// users). The UBF suffers neither failure.
+package ppsfw
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Rule approves a destination port range for a protocol.
+type Rule struct {
+	Name     string
+	Proto    netsim.Proto
+	PortLow  int
+	PortHigh int
+}
+
+// Matches reports whether the rule admits the flow.
+func (r Rule) Matches(f netsim.FlowTuple) bool {
+	return f.Proto == r.Proto && f.DstPort >= r.PortLow && f.DstPort <= r.PortHigh
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%s %s %d-%d", r.Name, r.Proto, r.PortLow, r.PortHigh)
+}
+
+// Firewall is a default-deny PPS firewall.
+type Firewall struct {
+	mu    sync.RWMutex
+	rules []Rule
+
+	// Decisions/Allowed/Denied are running counters.
+	Decisions int64
+	Allowed   int64
+	Denied    int64
+}
+
+// New creates an empty (default-deny) firewall.
+func New() *Firewall { return &Firewall{} }
+
+// Approve adds a service rule, the admin change-request workflow of a
+// traditional enterprise firewall.
+func (fw *Firewall) Approve(name string, proto netsim.Proto, low, high int) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.rules = append(fw.rules, Rule{Name: name, Proto: proto, PortLow: low, PortHigh: high})
+}
+
+// Revoke removes every rule with the given name.
+func (fw *Firewall) Revoke(name string) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	out := fw.rules[:0]
+	for _, r := range fw.rules {
+		if r.Name != name {
+			out = append(out, r)
+		}
+	}
+	fw.rules = out
+}
+
+// Rules lists rules sorted by name (copies).
+func (fw *Firewall) Rules() []Rule {
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
+	out := append([]Rule(nil), fw.rules...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Hook returns the nfqueue decision function. Note what it does NOT
+// look at: who owns either socket.
+func (fw *Firewall) Hook() netsim.HookFunc {
+	return func(_ *netsim.Network, flow netsim.FlowTuple) netsim.Verdict {
+		fw.mu.Lock()
+		fw.Decisions++
+		var verdict netsim.Verdict = netsim.Drop
+		for _, r := range fw.rules {
+			if r.Matches(flow) {
+				verdict = netsim.Accept
+				break
+			}
+		}
+		if verdict == netsim.Accept {
+			fw.Allowed++
+		} else {
+			fw.Denied++
+		}
+		fw.mu.Unlock()
+		return verdict
+	}
+}
+
+// InstallOn wires the firewall onto a host, inspecting all ports.
+func (fw *Firewall) InstallOn(h *netsim.Host) {
+	h.SetFirewall(fw.Hook(), nil)
+}

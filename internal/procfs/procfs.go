@@ -1,0 +1,186 @@
+// Package procfs implements the /proc visibility model of the paper's
+// process-separation measure (§IV-A): the hidepid= mount option, the
+// gid= exemption, and the seepid escalation tool for HPC support
+// personnel.
+//
+// Semantics follow Linux proc(5):
+//
+//	hidepid=0  classic behaviour, everybody sees everything
+//	hidepid=1  other users' /proc/<pid> directories still appear in a
+//	           directory listing, but their contents (cmdline, status,
+//	           environ, ...) cannot be read
+//	hidepid=2  other users' /proc/<pid> directories are invisible
+//
+// A process whose observer carries the exempt gid (the gid= mount
+// flag) bypasses the restriction entirely.
+package procfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/simos"
+)
+
+// HidePID is the /proc mount's hidepid= option.
+type HidePID int
+
+// hidepid levels.
+const (
+	HidePIDOff    HidePID = 0
+	HidePIDNoRead HidePID = 1
+	HidePIDInvis  HidePID = 2
+)
+
+func (h HidePID) String() string { return fmt.Sprintf("hidepid=%d", int(h)) }
+
+// Mount is one node's /proc mount configuration.
+type Mount struct {
+	HidePID   HidePID
+	ExemptGID ids.GID // gid= flag; NoGID means no exemption configured
+	table     *simos.Table
+}
+
+// Procfs errors.
+var (
+	ErrHidden    = errors.New("procfs: permission denied") // EPERM-like: dir exists but unreadable
+	ErrNotFound  = errors.New("procfs: no such process")   // ENOENT-like: invisible under hidepid=2
+	ErrNotExempt = errors.New("procfs: user not whitelisted for seepid")
+)
+
+// NewMount wraps a node's process table with a /proc view.
+func NewMount(table *simos.Table, hidepid HidePID, exemptGID ids.GID) *Mount {
+	return &Mount{HidePID: hidepid, ExemptGID: exemptGID, table: table}
+}
+
+// exempt reports whether the observer bypasses hidepid restrictions:
+// root always, and holders of the exempt gid when one is configured.
+func (m *Mount) exempt(observer ids.Credential) bool {
+	if observer.IsRoot() {
+		return true
+	}
+	return m.ExemptGID != ids.NoGID && observer.InGroup(m.ExemptGID)
+}
+
+// visible reports whether observer may see that the pid exists in a
+// directory listing of /proc.
+func (m *Mount) visible(observer ids.Credential, p *simos.Process) bool {
+	if m.exempt(observer) || p.Cred.UID == observer.UID {
+		return true
+	}
+	return m.HidePID < HidePIDInvis
+}
+
+// readable reports whether observer may read the contents of
+// /proc/<pid>/ (cmdline, status, ...).
+func (m *Mount) readable(observer ids.Credential, p *simos.Process) bool {
+	if m.exempt(observer) || p.Cred.UID == observer.UID {
+		return true
+	}
+	return m.HidePID == HidePIDOff
+}
+
+// List returns the processes whose /proc/<pid> directories appear to
+// the observer, sorted by PID — the readdir view `ps` uses.
+func (m *Mount) List(observer ids.Credential) []*simos.Process {
+	var out []*simos.Process
+	for _, p := range m.table.All() {
+		if m.visible(observer, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Readable returns the processes the observer can fully inspect —
+// what a `ps auxww` that reads each cmdline would actually print.
+func (m *Mount) Readable(observer ids.Credential) []*simos.Process {
+	var out []*simos.Process
+	for _, p := range m.table.All() {
+		if m.readable(observer, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Stat models stat("/proc/<pid>"): under hidepid=2 foreign pids
+// return ErrNotFound; under hidepid=1 they exist but detailed reads
+// fail (see ReadCmdline).
+func (m *Mount) Stat(observer ids.Credential, pid ids.PID) (*simos.Process, error) {
+	p, err := m.table.Get(pid)
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	if !m.visible(observer, p) {
+		return nil, ErrNotFound
+	}
+	if !m.readable(observer, p) {
+		// Exists but contents are protected: return a redacted stub,
+		// matching hidepid=1 where the dir is visible but unreadable.
+		return &simos.Process{PID: p.PID, State: p.State}, nil
+	}
+	return p, nil
+}
+
+// ReadCmdline models reading /proc/<pid>/cmdline — the exact leak
+// path of CVE-2020-27746-style disclosures.
+func (m *Mount) ReadCmdline(observer ids.Credential, pid ids.PID) (string, error) {
+	p, err := m.table.Get(pid)
+	if err != nil {
+		return "", ErrNotFound
+	}
+	if !m.visible(observer, p) {
+		return "", ErrNotFound
+	}
+	if !m.readable(observer, p) {
+		return "", ErrHidden
+	}
+	return strings.Join(p.Cmdline, " "), nil
+}
+
+// Seepid implements the paper's seepid tool: a whitelisted HPC
+// support person gets the exempt supplemental group added to their
+// session credential so they can attribute load to users without full
+// administrator rights. Returns the augmented credential.
+type Seepid struct {
+	ExemptGID ids.GID
+	whitelist map[ids.UID]bool
+}
+
+// NewSeepid builds the tool around the /proc exempt gid and a
+// whitelist of support staff UIDs.
+func NewSeepid(exemptGID ids.GID, staff ...ids.UID) *Seepid {
+	wl := make(map[ids.UID]bool, len(staff))
+	for _, u := range staff {
+		wl[u] = true
+	}
+	return &Seepid{ExemptGID: exemptGID, whitelist: wl}
+}
+
+// Elevate returns cred with the exempt gid appended, or an error if
+// the caller is not whitelisted.
+func (s *Seepid) Elevate(cred ids.Credential) (ids.Credential, error) {
+	if !s.whitelist[cred.UID] {
+		return cred, fmt.Errorf("%w: uid %d", ErrNotExempt, cred.UID)
+	}
+	nc := cred.Clone()
+	nc.Groups = append(nc.Groups, s.ExemptGID)
+	return nc, nil
+}
+
+// Drop returns cred with the exempt gid removed (leaving the seepid
+// session).
+func (s *Seepid) Drop(cred ids.Credential) ids.Credential {
+	nc := cred.Clone()
+	out := nc.Groups[:0]
+	for _, g := range nc.Groups {
+		if g != s.ExemptGID {
+			out = append(out, g)
+		}
+	}
+	nc.Groups = out
+	return nc
+}

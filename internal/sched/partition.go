@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Partition groups nodes under a submission target with its own
+// limits, the way the paper's environment distinguishes batch
+// partitions from the interactive debug queue (§IV-B: "there are
+// still some nodes like login nodes, data transfer nodes, and
+// interactive debug queue nodes on which multiple simultaneous users
+// are working").
+//
+// A partition may override the cluster's node-sharing policy: LLSC
+// runs user-whole-node on batch partitions while the interactive
+// debug partition stays shared (which is exactly why process hiding
+// stays necessary there).
+type Partition struct {
+	Name string
+	// NodePrefix selects member nodes by name prefix (e.g. "c" for
+	// c00..c07, "debug" for debug nodes).
+	NodePrefix string
+	// MaxDuration rejects jobs longer than this many ticks (0 = no
+	// limit). The debug partition is short-job-only.
+	MaxDuration int64
+	// MaxCoresPerJob rejects larger jobs (0 = no limit).
+	MaxCoresPerJob int
+	// PolicyOverride, when non-nil, replaces the cluster policy for
+	// placement inside this partition.
+	PolicyOverride *SharingPolicy
+}
+
+// Partition errors.
+var (
+	ErrNoPartition      = errors.New("sched: no such partition")
+	ErrPartitionLimit   = errors.New("sched: job exceeds partition limits")
+	ErrPartitionMembers = errors.New("sched: partition matches no nodes")
+)
+
+// AddPartition registers a partition. Jobs name it via
+// JobSpec.Partition; an empty spec partition uses default placement
+// over all compute nodes.
+func (s *Scheduler) AddPartition(p Partition) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ns := range s.nodes {
+		if strings.HasPrefix(ns.node.Name, p.NodePrefix) {
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("%w: prefix %q", ErrPartitionMembers, p.NodePrefix)
+	}
+	if s.partitions == nil {
+		s.partitions = make(map[string]*Partition)
+	}
+	cp := p
+	s.partitions[p.Name] = &cp
+	return nil
+}
+
+// Partitions lists registered partition names.
+func (s *Scheduler) Partitions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.partitions))
+	for name := range s.partitions {
+		out = append(out, name)
+	}
+	return out
+}
+
+// validatePartition checks a spec against its partition's limits.
+// Caller holds s.mu.
+func (s *Scheduler) validatePartition(spec JobSpec) error {
+	if spec.Partition == "" {
+		return nil
+	}
+	p, ok := s.partitions[spec.Partition]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoPartition, spec.Partition)
+	}
+	if p.MaxDuration > 0 && spec.Duration > p.MaxDuration {
+		return fmt.Errorf("%w: duration %d > %d in %s", ErrPartitionLimit, spec.Duration, p.MaxDuration, p.Name)
+	}
+	if p.MaxCoresPerJob > 0 && spec.Cores > p.MaxCoresPerJob {
+		return fmt.Errorf("%w: cores %d > %d in %s", ErrPartitionLimit, spec.Cores, p.MaxCoresPerJob, p.Name)
+	}
+	return nil
+}
+
+// partitionOf returns the job's partition (nil = default).
+// Caller holds s.mu.
+func (s *Scheduler) partitionOf(j *Job) *Partition {
+	if j.Spec.Partition == "" {
+		return nil
+	}
+	return s.partitions[j.Spec.Partition]
+}
+
+// inPartition reports whether a node belongs to the partition (nil
+// partition = every compute node).
+func inPartition(p *Partition, nodeName string) bool {
+	if p == nil {
+		return true
+	}
+	return strings.HasPrefix(nodeName, p.NodePrefix)
+}
+
+// effectivePolicy returns the sharing policy that governs a job.
+func (s *Scheduler) effectivePolicy(j *Job) SharingPolicy {
+	if p := s.partitionOf(j); p != nil && p.PolicyOverride != nil {
+		return *p.PolicyOverride
+	}
+	return s.Cfg.Policy
+}

@@ -1,0 +1,100 @@
+package sched
+
+import "repro/internal/simos"
+
+// fit computes a placement (node -> cores) for job j under the
+// configured sharing policy, or nil if it cannot start now.
+// Caller holds s.mu.
+//
+// Placement is greedy first-fit in node order, which matches the
+// paper's description of node-based scheduling for large volumes of
+// short jobs [25]: no reservations, just pack what fits subject to
+// the policy constraint.
+func (s *Scheduler) fit(j *Job) map[string]int {
+	remaining := j.Spec.Cores
+	placement := make(map[string]int)
+	part := s.partitionOf(j)
+	policy := s.effectivePolicy(j)
+	for _, ns := range s.nodes {
+		if remaining == 0 {
+			break
+		}
+		if ns.node.Kind != simos.Compute || ns.node.Down() {
+			continue
+		}
+		if !inPartition(part, ns.node.Name) {
+			continue
+		}
+		if !s.nodeEligible(ns, j, policy) {
+			continue
+		}
+		avail := ns.freeCores()
+		if policy == PolicyExclusive && !ns.empty() {
+			continue
+		}
+		if avail <= 0 || ns.freeMem() < j.Spec.MemB || ns.freeGPUs() < j.Spec.GPUs {
+			continue
+		}
+		take := avail
+		if take > remaining {
+			take = remaining
+		}
+		placement[ns.node.Name] = take
+		remaining -= take
+	}
+	if remaining > 0 {
+		return nil
+	}
+	// Exclusive policy consumes whole nodes: inflate the core count so
+	// nothing else fits on them.
+	if policy == PolicyExclusive {
+		for name := range placement {
+			placement[name] = s.byName[name].node.Cores - s.byName[name].usedCores
+		}
+	}
+	return placement
+}
+
+// nodeEligible applies the policy's user constraint.
+func (s *Scheduler) nodeEligible(ns *nodeState, j *Job, policy SharingPolicy) bool {
+	switch policy {
+	case PolicyShared:
+		return true
+	case PolicyExclusive:
+		return ns.empty()
+	case PolicyUserWholeNode:
+		// A node is eligible if it is empty or every allocation on it
+		// belongs to this same user (paper §IV-B: "only other jobs
+		// from that same user can be scheduled on that node").
+		return ns.empty() || ns.soleUser(j.User)
+	default:
+		return false
+	}
+}
+
+// NodeUsers returns, for every compute node, the set of distinct users
+// currently running on it — the invariant check for experiment E4:
+// under PolicyUserWholeNode this must never exceed 1.
+func (s *Scheduler) NodeUsers() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.nodes))
+	for _, ns := range s.nodes {
+		if ns.node.Kind == simos.Compute {
+			out[ns.node.Name] = len(ns.users)
+		}
+	}
+	return out
+}
+
+// MaxUsersPerNode returns the max over NodeUsers — 1 means perfect
+// user separation on compute nodes.
+func (s *Scheduler) MaxUsersPerNode() int {
+	max := 0
+	for _, n := range s.NodeUsers() {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestSqueueTextPrivacy(t *testing.T) {
+	s := New(Config{PrivateData: true}, computeNodes(2, 4, 1000), 0)
+	if _, err := s.Submit(cred(1000), JobSpec{Name: "mine", Command: "x", Cores: 1, MemB: 1, Duration: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(cred(2000), JobSpec{Name: "theirs", Command: "x", Cores: 1, MemB: 1, Duration: 10}); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	resolve := func(uid ids.UID) string {
+		if uid == 1000 {
+			return "alice"
+		}
+		return "bob"
+	}
+	out := s.SqueueText(cred(1000), resolve)
+	if !strings.Contains(out, "mine") || !strings.Contains(out, "alice") {
+		t.Errorf("own job missing:\n%s", out)
+	}
+	if strings.Contains(out, "theirs") || strings.Contains(out, "bob") {
+		t.Errorf("foreign job leaked into text:\n%s", out)
+	}
+	// Root view includes both; nil resolver prints numeric UIDs.
+	rootOut := s.SqueueText(ids.RootCred(), nil)
+	if !strings.Contains(rootOut, "theirs") || !strings.Contains(rootOut, "2000") {
+		t.Errorf("root view incomplete:\n%s", rootOut)
+	}
+}
+
+func TestSinfoTextHidesAttribution(t *testing.T) {
+	s := New(Config{PrivateData: true}, computeNodes(2, 4, 1000), 0)
+	if _, err := s.Submit(cred(2000), spec(2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	out := s.SinfoText(cred(1000))
+	if !strings.Contains(out, "(hidden)") {
+		t.Errorf("attribution not hidden:\n%s", out)
+	}
+	rootOut := s.SinfoText(ids.RootCred())
+	if strings.Contains(rootOut, "(hidden)") {
+		t.Errorf("root view hidden:\n%s", rootOut)
+	}
+}
+
+func TestSacctText(t *testing.T) {
+	s := New(Config{}, computeNodes(2, 4, 1000), 0)
+	if _, err := s.Submit(cred(1000), spec(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll(10)
+	out := s.SacctText(cred(1000), nil)
+	if !strings.Contains(out, "CD") {
+		t.Errorf("completed state missing:\n%s", out)
+	}
+}

@@ -1,0 +1,483 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/simos"
+)
+
+// Config is the scheduler's separation-relevant configuration.
+type Config struct {
+	// PrivateData hides other users' jobs and accounting (paper §IV-B).
+	PrivateData bool
+	// Policy is the node-sharing policy.
+	Policy SharingPolicy
+	// PamSlurm gates compute-node ssh on having a job there.
+	PamSlurm bool
+	// CoordinatorGIDs may view all jobs even under PrivateData
+	// (Slurm's PrivateData exempts operators/coordinators).
+	CoordinatorGIDs []ids.GID
+}
+
+// Hook runs at job start (prolog) or end (epilog) on each node of the
+// job. The GPU substrate registers both.
+type Hook func(job *Job, node *simos.Node) error
+
+// nodeState tracks allocations on one node.
+type nodeState struct {
+	node      *simos.Node
+	usedCores int
+	usedMem   int64
+	usedGPUs  int
+	totalGPUs int
+	jobs      map[int]*Job
+	users     map[ids.UID]int // uid -> #jobs on node
+}
+
+func (ns *nodeState) freeCores() int { return ns.node.Cores - ns.usedCores }
+func (ns *nodeState) freeMem() int64 { return ns.node.MemB - ns.usedMem }
+func (ns *nodeState) freeGPUs() int  { return ns.totalGPUs - ns.usedGPUs }
+func (ns *nodeState) empty() bool    { return len(ns.jobs) == 0 }
+func (ns *nodeState) soleUser(u ids.UID) bool {
+	for uid := range ns.users {
+		if uid != u {
+			return false
+		}
+	}
+	return true
+}
+
+// Scheduler is the cluster batch scheduler.
+type Scheduler struct {
+	Cfg Config
+
+	mu         sync.Mutex
+	now        int64
+	nextID     int
+	nodes      []*nodeState
+	byName     map[string]*nodeState
+	partitions map[string]*Partition
+	userLimit  int    // max active jobs per user; 0 = unlimited
+	nextArray  int    // next array id (starts at 1)
+	queue      []*Job // pending, submit order
+	jobs       map[int]*Job
+	records    []AccountingRecord
+	prologs    []Hook
+	epilogs    []Hook
+	// busyCoreTicks accumulates cores in use each tick, for the
+	// utilization metric of experiment E4.
+	busyCoreTicks  int64
+	totalCoreTicks int64
+	// crashes counts node OOM crashes; cofailures counts jobs of
+	// *other* users killed by someone else's OOM (blast radius).
+	crashes    int
+	cofailures int
+}
+
+// Scheduler errors.
+var (
+	ErrNoSuchJob     = errors.New("sched: no such job")
+	ErrNotOwner      = errors.New("sched: not job owner")
+	ErrUnsatisfiable = errors.New("sched: request can never be satisfied")
+	ErrBadSpec       = errors.New("sched: invalid job spec")
+)
+
+// New creates a scheduler over the given nodes. gpusPerNode sets how
+// many GPU slots each compute node exposes (0 for CPU-only clusters).
+func New(cfg Config, nodes []*simos.Node, gpusPerNode int) *Scheduler {
+	s := &Scheduler{
+		Cfg:       cfg,
+		nextID:    1,
+		nextArray: 1,
+		byName:    make(map[string]*nodeState),
+		jobs:      make(map[int]*Job),
+	}
+	for _, n := range nodes {
+		st := &nodeState{
+			node:      n,
+			totalGPUs: gpusPerNode,
+			jobs:      make(map[int]*Job),
+			users:     make(map[ids.UID]int),
+		}
+		s.nodes = append(s.nodes, st)
+		s.byName[n.Name] = st
+		if cfg.PamSlurm && n.Kind == simos.Compute {
+			n.AddPAMHook(s.pamSlurmHook())
+		}
+	}
+	return s
+}
+
+// pamSlurmHook implements pam_slurm: allow login only with a running
+// job on the node (paper §IV-B).
+func (s *Scheduler) pamSlurmHook() simos.PAMHook {
+	return func(node *simos.Node, uid ids.UID) error {
+		if uid == ids.Root {
+			return nil
+		}
+		if s.HasJobOn(uid, node.Name) {
+			return nil
+		}
+		return fmt.Errorf("pam_slurm: uid %d has no running job on %s", uid, node.Name)
+	}
+}
+
+// AddProlog registers a job-start hook.
+func (s *Scheduler) AddProlog(h Hook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prologs = append(s.prologs, h)
+}
+
+// AddEpilog registers a job-end hook.
+func (s *Scheduler) AddEpilog(h Hook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epilogs = append(s.epilogs, h)
+}
+
+// Now returns the current logical time.
+func (s *Scheduler) Now() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Submit enqueues a job for cred. It validates that the request fits
+// the cluster at all.
+func (s *Scheduler) Submit(cred ids.Credential, spec JobSpec) (*Job, error) {
+	if spec.Cores <= 0 || spec.Duration <= 0 {
+		return nil, fmt.Errorf("%w: cores=%d duration=%d", ErrBadSpec, spec.Cores, spec.Duration)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.validatePartition(spec); err != nil {
+		return nil, err
+	}
+	if err := s.checkUserLimitLocked(cred.UID, 1); err != nil {
+		return nil, err
+	}
+	var maxCores, maxGPUs int
+	for _, ns := range s.nodes {
+		if ns.node.Kind != simos.Compute {
+			continue
+		}
+		maxCores += ns.node.Cores
+		if ns.totalGPUs > maxGPUs {
+			maxGPUs = ns.totalGPUs
+		}
+	}
+	if spec.Cores > maxCores {
+		return nil, fmt.Errorf("%w: %d cores > cluster %d", ErrUnsatisfiable, spec.Cores, maxCores)
+	}
+	// The GPU request is per node, so it must fit a single node.
+	if spec.GPUs > maxGPUs {
+		return nil, fmt.Errorf("%w: %d gpus/node > node max %d", ErrUnsatisfiable, spec.GPUs, maxGPUs)
+	}
+	j := &Job{
+		ID:     s.nextID,
+		User:   cred.UID,
+		Cred:   cred.Clone(),
+		Spec:   spec,
+		State:  Pending,
+		Submit: s.now,
+		Tasks:  make(map[string]int),
+	}
+	s.nextID++
+	s.jobs[j.ID] = j
+	s.queue = append(s.queue, j)
+	return j.Clone(), nil
+}
+
+// Cancel removes a pending job or kills a running one. Only the owner
+// or root may cancel — and under PrivateData other users cannot even
+// name foreign job IDs meaningfully.
+func (s *Scheduler) Cancel(actor ids.Credential, jobID int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchJob, jobID)
+	}
+	if !actor.IsRoot() && actor.UID != j.User {
+		return fmt.Errorf("%w: job %d", ErrNotOwner, jobID)
+	}
+	switch j.State {
+	case Pending:
+		j.State = Cancelled
+		j.End = s.now
+		s.dequeue(j)
+		s.account(j)
+	case Running:
+		s.finish(j, Cancelled)
+	}
+	return nil
+}
+
+func (s *Scheduler) dequeue(j *Job) {
+	for i, q := range s.queue {
+		if q.ID == j.ID {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Step advances logical time by one tick: finish jobs whose time is
+// up, apply memory usage and OOM faults, then schedule the queue.
+// Returns the number of jobs started this tick.
+func (s *Scheduler) Step() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now++
+	// Account utilization before finishing, i.e. usage during this
+	// tick. Busy counts the cores jobs *requested*, not the cores a
+	// placement occupies — exclusive allocations waste the node
+	// remainder and that waste must show up as idle.
+	for _, ns := range s.nodes {
+		if ns.node.Kind != simos.Compute {
+			continue
+		}
+		s.totalCoreTicks += int64(ns.node.Cores)
+	}
+	for _, j := range s.jobs {
+		if j.State == Running {
+			s.busyCoreTicks += int64(j.Spec.Cores)
+		}
+	}
+	// 1. Completions.
+	for _, j := range s.runningJobs() {
+		if s.now-j.Start >= j.Spec.Duration {
+			s.finish(j, Completed)
+		}
+	}
+	// 2a. Externally crashed nodes (hardware failure injected by a
+	// test or operator): every job on them fails.
+	for _, ns := range s.nodes {
+		if ns.node.Down() && len(ns.jobs) > 0 {
+			for _, j := range jobsSorted(ns.jobs) {
+				s.finish(j, Failed)
+			}
+		}
+	}
+	// 2b. OOM fault injection: jobs that exceed their request blow up
+	// the node, killing every job on it.
+	for _, ns := range s.nodes {
+		over := false
+		for _, j := range ns.jobs {
+			if j.Spec.ActualMemB > ns.node.MemB {
+				over = true
+			}
+		}
+		var memSum int64
+		for _, j := range ns.jobs {
+			m := j.Spec.MemB
+			if j.Spec.ActualMemB > m {
+				m = j.Spec.ActualMemB
+			}
+			memSum += m
+		}
+		if over || memSum > ns.node.MemB {
+			s.crashNode(ns)
+		}
+	}
+	// 3. Scheduling pass (first-fit over submit order = FIFO with
+	// backfill holes).
+	started := 0
+	for _, j := range append([]*Job(nil), s.queue...) {
+		if s.tryStart(j) {
+			started++
+		}
+	}
+	return started
+}
+
+// runningJobs returns running jobs sorted by ID for determinism.
+func (s *Scheduler) runningJobs() []*Job {
+	var out []*Job
+	for _, j := range s.jobs {
+		if j.State == Running {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// crashNode fails every job on the node and marks the crash. Jobs of
+// users other than the at-fault user count as cofailures (blast
+// radius, experiment E4).
+func (s *Scheduler) crashNode(ns *nodeState) {
+	s.crashes++
+	var atFault ids.UID = ids.NoUID
+	for _, j := range ns.jobs {
+		if j.Spec.ActualMemB > j.Spec.MemB {
+			atFault = j.User
+			break
+		}
+	}
+	for _, j := range jobsSorted(ns.jobs) {
+		if j.User != atFault && atFault != ids.NoUID {
+			s.cofailures++
+		}
+		s.finish(j, Failed)
+	}
+	ns.node.Crash()
+	ns.node.Restore()
+}
+
+func jobsSorted(m map[int]*Job) []*Job {
+	out := make([]*Job, 0, len(m))
+	for _, j := range m {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// finish releases a job's resources, runs epilogs, records
+// accounting. Caller holds s.mu.
+func (s *Scheduler) finish(j *Job, state JobState) {
+	if j.State != Running {
+		return
+	}
+	j.State = state
+	j.End = s.now
+	for nodeName, cores := range j.Tasks {
+		ns := s.byName[nodeName]
+		ns.usedCores -= cores
+		ns.usedMem -= j.Spec.MemB
+		ns.usedGPUs -= j.Spec.GPUs
+		delete(ns.jobs, j.ID)
+		ns.users[j.User]--
+		if ns.users[j.User] == 0 {
+			delete(ns.users, j.User)
+		}
+		ns.node.Procs.KillJob(j.ID)
+		for _, h := range s.epilogs {
+			_ = h(j, ns.node) // epilog failures are logged, not fatal, in Slurm
+		}
+	}
+	s.account(j)
+}
+
+func (s *Scheduler) account(j *Job) {
+	var ct int64
+	if j.Start > 0 {
+		ct = int64(j.Spec.Cores) * (j.End - j.Start)
+	}
+	s.records = append(s.records, AccountingRecord{
+		JobID: j.ID, User: j.User, Name: j.Spec.Name, State: j.State,
+		Submit: j.Submit, Start: j.Start, End: j.End,
+		CoreTicks: ct, NodeList: append([]string(nil), j.Nodes...),
+	})
+}
+
+// tryStart attempts to place job j now. Caller holds s.mu.
+func (s *Scheduler) tryStart(j *Job) bool {
+	placement := s.fit(j)
+	if placement == nil {
+		return false
+	}
+	j.State = Running
+	j.Start = s.now
+	j.Tasks = placement
+	j.Nodes = j.Nodes[:0]
+	for name, cores := range placement {
+		ns := s.byName[name]
+		ns.usedCores += cores
+		ns.usedMem += j.Spec.MemB
+		ns.usedGPUs += j.Spec.GPUs
+		ns.jobs[j.ID] = j
+		ns.users[j.User]++
+		j.Nodes = append(j.Nodes, name)
+		// Spawn one task process per node, carrying the command line
+		// (the thing hidepid protects).
+		p := ns.node.Procs.Spawn(j.Cred, 1, "slurmstepd", j.Spec.Command)
+		_ = ns.node.Procs.SetJob(p.PID, j.ID)
+		rss := j.Spec.MemB
+		if j.Spec.ActualMemB > rss {
+			rss = j.Spec.ActualMemB
+		}
+		_ = ns.node.Procs.SetRSS(p.PID, rss)
+		for _, h := range s.prologs {
+			_ = h(j, ns.node)
+		}
+	}
+	sort.Strings(j.Nodes)
+	s.dequeue(j)
+	return true
+}
+
+// HasJobOn reports whether uid has a running job on the named node —
+// the pam_slurm predicate.
+func (s *Scheduler) HasJobOn(uid ids.UID, nodeName string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns, ok := s.byName[nodeName]
+	if !ok {
+		return false
+	}
+	return ns.users[uid] > 0
+}
+
+// Utilization returns busy core-ticks / total core-ticks so far.
+func (s *Scheduler) Utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.totalCoreTicks == 0 {
+		return 0
+	}
+	return float64(s.busyCoreTicks) / float64(s.totalCoreTicks)
+}
+
+// Crashes returns (node crashes, cross-user job cofailures).
+func (s *Scheduler) Crashes() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashes, s.cofailures
+}
+
+// PendingCount returns the queue length.
+func (s *Scheduler) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Job returns the job by ID as the *scheduler* sees it (no privacy
+// filtering — use Squeue/JobView for user-facing access).
+func (s *Scheduler) Job(id int) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchJob, id)
+	}
+	return j.Clone(), nil
+}
+
+// RunAll steps until the queue drains and all jobs finish, up to
+// maxTicks. Returns the number of ticks executed.
+func (s *Scheduler) RunAll(maxTicks int) int {
+	for t := 0; t < maxTicks; t++ {
+		s.Step()
+		s.mu.Lock()
+		idle := len(s.queue) == 0
+		for _, j := range s.jobs {
+			if j.State == Running {
+				idle = false
+				break
+			}
+		}
+		s.mu.Unlock()
+		if idle {
+			return t + 1
+		}
+	}
+	return maxTicks
+}

@@ -1,0 +1,273 @@
+// Package simos implements the per-node operating-system substrate of
+// the simulated HPC system: process tables, credentials, login
+// sessions with a PAM-like hook stack, and /dev device nodes.
+//
+// It deliberately models only what the paper's separation mechanisms
+// need: who is running what (for /proc visibility and the user-based
+// firewall's ident queries), how logins are gated (pam_slurm), and how
+// device permissions bind GPUs to users.
+package simos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// ProcState is the lifecycle state of a simulated process.
+type ProcState int
+
+// Process states.
+const (
+	StateRunning ProcState = iota
+	StateSleeping
+	StateZombie
+	StateDead
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateRunning:
+		return "R"
+	case StateSleeping:
+		return "S"
+	case StateZombie:
+		return "Z"
+	default:
+		return "X"
+	}
+}
+
+// Process is one entry in a node's process table. Cmdline may contain
+// secrets (paths, tokens) — exactly the information leak hidepid=2
+// exists to stop (paper §IV-A, CVE-2020-27746).
+type Process struct {
+	PID     ids.PID
+	PPID    ids.PID
+	Cred    ids.Credential
+	Comm    string   // executable name, like /proc/<pid>/comm
+	Cmdline []string // full argv, like /proc/<pid>/cmdline
+	State   ProcState
+	Start   int64 // logical start time
+	RSS     int64 // resident memory, bytes (for OOM modelling)
+	JobID   int   // owning scheduler job, 0 = none (daemon/login shell)
+	Daemon  bool  // system daemon (owned by root or service users)
+}
+
+// Clone returns a deep copy safe to hand to observers.
+func (p *Process) Clone() *Process {
+	np := *p
+	np.Cred = p.Cred.Clone()
+	np.Cmdline = append([]string(nil), p.Cmdline...)
+	return &np
+}
+
+// Table is a node's process table. All methods are safe for
+// concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	nextPID ids.PID
+	procs   map[ids.PID]*Process
+	clock   func() int64
+}
+
+// Process-table errors.
+var (
+	ErrNoSuchProcess = errors.New("simos: no such process")
+	ErrPermission    = errors.New("simos: operation not permitted")
+)
+
+// NewTable returns an empty process table. clock supplies logical
+// time; pass nil for a zero clock.
+func NewTable(clock func() int64) *Table {
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &Table{nextPID: 1, procs: make(map[ids.PID]*Process), clock: clock}
+}
+
+// Spawn creates a process owned by cred. ppid 0 means "init".
+func (t *Table) Spawn(cred ids.Credential, ppid ids.PID, comm string, argv ...string) *Process {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := &Process{
+		PID:     t.nextPID,
+		PPID:    ppid,
+		Cred:    cred.Clone(),
+		Comm:    comm,
+		Cmdline: append([]string{comm}, argv...),
+		State:   StateRunning,
+		Start:   t.clock(),
+	}
+	t.nextPID++
+	t.procs[p.PID] = p
+	return p.Clone()
+}
+
+// SpawnDaemon creates a system daemon process (root-owned unless a
+// different cred is given); daemons are what hidepid=2 hides alongside
+// other users' processes.
+func (t *Table) SpawnDaemon(comm string, argv ...string) *Process {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := &Process{
+		PID:     t.nextPID,
+		PPID:    1,
+		Cred:    ids.RootCred(),
+		Comm:    comm,
+		Cmdline: append([]string{comm}, argv...),
+		State:   StateSleeping,
+		Start:   t.clock(),
+		Daemon:  true,
+	}
+	t.nextPID++
+	t.procs[p.PID] = p
+	return p.Clone()
+}
+
+// Get returns a copy of the process with the given pid. Visibility
+// filtering is the job of package procfs; Get is the raw kernel view.
+func (t *Table) Get(pid ids.PID) (*Process, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p, ok := t.procs[pid]
+	if !ok || p.State == StateDead {
+		return nil, fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
+	}
+	return p.Clone(), nil
+}
+
+// Exit marks a process dead and removes it from the table.
+func (t *Table) Exit(pid ids.PID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
+	}
+	p.State = StateDead
+	delete(t.procs, pid)
+	return nil
+}
+
+// Kill terminates a process on behalf of actor. Classic Unix rule:
+// only the owner or root may signal a process.
+func (t *Table) Kill(actor ids.Credential, pid ids.PID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
+	}
+	if !actor.IsRoot() && actor.UID != p.Cred.UID {
+		return fmt.Errorf("%w: uid %d cannot kill pid %d (uid %d)", ErrPermission, actor.UID, pid, p.Cred.UID)
+	}
+	p.State = StateDead
+	delete(t.procs, pid)
+	return nil
+}
+
+// KillJob terminates every process belonging to the given scheduler
+// job. Used by the scheduler's job-teardown and the OOM blast-radius
+// experiment (E4).
+func (t *Table) KillJob(jobID int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for pid, p := range t.procs {
+		if p.JobID == jobID && jobID != 0 {
+			p.State = StateDead
+			delete(t.procs, pid)
+			n++
+		}
+	}
+	return n
+}
+
+// KillUser terminates every non-daemon process of uid (node failure /
+// cleanup modelling). Returns the number killed.
+func (t *Table) KillUser(uid ids.UID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for pid, p := range t.procs {
+		if p.Cred.UID == uid && !p.Daemon {
+			p.State = StateDead
+			delete(t.procs, pid)
+			n++
+		}
+	}
+	return n
+}
+
+// All returns copies of every live process sorted by PID — the
+// unfiltered kernel view (what root sees).
+func (t *Table) All() []*Process {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Process, 0, len(t.procs))
+	for _, p := range t.procs {
+		out = append(out, p.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// ByUser returns live processes owned by uid, sorted by PID.
+func (t *Table) ByUser(uid ids.UID) []*Process {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Process
+	for _, p := range t.procs {
+		if p.Cred.UID == uid {
+			out = append(out, p.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// SetJob associates a process with a scheduler job id.
+func (t *Table) SetJob(pid ids.PID, jobID int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
+	}
+	p.JobID = jobID
+	return nil
+}
+
+// SetRSS records memory usage for OOM modelling.
+func (t *Table) SetRSS(pid ids.PID, rss int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
+	}
+	p.RSS = rss
+	return nil
+}
+
+// TotalRSS sums resident memory across all live processes.
+func (t *Table) TotalRSS() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var sum int64
+	for _, p := range t.procs {
+		sum += p.RSS
+	}
+	return sum
+}
+
+// Len returns the number of live processes.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.procs)
+}

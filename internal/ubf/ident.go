@@ -1,0 +1,166 @@
+package ubf
+
+// RFC 1413-style ident wire protocol. The paper describes the UBF's
+// peer exchange as "an ident [32]-like query" (§IV-D, citing RFC
+// 1413). This file implements the actual text protocol so the
+// daemon's cross-host exchange is wire-faithful:
+//
+//	query:    "6193, 23\r\n"            (port-on-server, port-on-client)
+//	response: "6193, 23 : USERID : UNIX : uid=1000 egid=1000\r\n"
+//	error:    "6193, 23 : ERROR : NO-USER\r\n"
+//
+// The stock protocol returns an opaque user string; like the paper's
+// daemons we carry uid and egid, since the group rule needs the
+// effective gid of the listener.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// Ident protocol errors (the RFC's error-token set).
+var (
+	ErrIdentMalformed  = errors.New("ubf: malformed ident message")
+	ErrIdentNoUser     = errors.New("ubf: NO-USER")
+	ErrIdentHiddenUser = errors.New("ubf: HIDDEN-USER")
+)
+
+// IdentQuery is a parsed request.
+type IdentQuery struct {
+	ServerPort int // port on the answering host
+	ClientPort int // port on the asking host
+}
+
+// FormatIdentQuery renders the request line.
+func FormatIdentQuery(q IdentQuery) string {
+	return fmt.Sprintf("%d, %d\r\n", q.ServerPort, q.ClientPort)
+}
+
+// ParseIdentQuery parses a request line.
+func ParseIdentQuery(line string) (IdentQuery, error) {
+	line = strings.TrimSuffix(strings.TrimSuffix(line, "\n"), "\r")
+	parts := strings.Split(line, ",")
+	if len(parts) != 2 {
+		return IdentQuery{}, fmt.Errorf("%w: %q", ErrIdentMalformed, line)
+	}
+	sp, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	cp, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil || sp <= 0 || cp <= 0 || sp > 65535 || cp > 65535 {
+		return IdentQuery{}, fmt.Errorf("%w: %q", ErrIdentMalformed, line)
+	}
+	return IdentQuery{ServerPort: sp, ClientPort: cp}, nil
+}
+
+// FormatIdentResponse renders a USERID response carrying uid+egid.
+func FormatIdentResponse(q IdentQuery, cred ids.Credential) string {
+	return fmt.Sprintf("%d, %d : USERID : UNIX : uid=%d egid=%d\r\n",
+		q.ServerPort, q.ClientPort, cred.UID, cred.EGID)
+}
+
+// FormatIdentError renders an ERROR response with the given RFC token
+// (NO-USER, HIDDEN-USER, INVALID-PORT, UNKNOWN-ERROR).
+func FormatIdentError(q IdentQuery, token string) string {
+	return fmt.Sprintf("%d, %d : ERROR : %s\r\n", q.ServerPort, q.ClientPort, token)
+}
+
+// ParseIdentResponse parses a response line into the answering
+// credential (uid+egid only — supplemental groups never cross the
+// wire; the daemon resolves those locally if it needs them).
+func ParseIdentResponse(line string) (IdentQuery, ids.Credential, error) {
+	line = strings.TrimSuffix(strings.TrimSuffix(line, "\n"), "\r")
+	fields := strings.SplitN(line, ":", 4)
+	if len(fields) < 3 {
+		return IdentQuery{}, ids.Credential{}, fmt.Errorf("%w: %q", ErrIdentMalformed, line)
+	}
+	q, err := ParseIdentQuery(fields[0])
+	if err != nil {
+		return IdentQuery{}, ids.Credential{}, err
+	}
+	switch strings.TrimSpace(fields[1]) {
+	case "ERROR":
+		token := strings.TrimSpace(fields[2])
+		switch token {
+		case "NO-USER":
+			return q, ids.Credential{}, ErrIdentNoUser
+		case "HIDDEN-USER":
+			return q, ids.Credential{}, ErrIdentHiddenUser
+		default:
+			return q, ids.Credential{}, fmt.Errorf("%w: error token %q", ErrIdentMalformed, token)
+		}
+	case "USERID":
+		if len(fields) != 4 {
+			return IdentQuery{}, ids.Credential{}, fmt.Errorf("%w: %q", ErrIdentMalformed, line)
+		}
+		cred := ids.Credential{UID: ids.NoUID, EGID: ids.NoGID}
+		for _, kv := range strings.Fields(strings.TrimSpace(fields[3])) {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return IdentQuery{}, ids.Credential{}, fmt.Errorf("%w: token %q", ErrIdentMalformed, kv)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return IdentQuery{}, ids.Credential{}, fmt.Errorf("%w: %q", ErrIdentMalformed, kv)
+			}
+			switch k {
+			case "uid":
+				cred.UID = ids.UID(n)
+			case "egid":
+				cred.EGID = ids.GID(n)
+			}
+		}
+		if cred.UID == ids.NoUID || cred.EGID == ids.NoGID {
+			return IdentQuery{}, ids.Credential{}, fmt.Errorf("%w: missing uid/egid in %q", ErrIdentMalformed, line)
+		}
+		cred.Groups = []ids.GID{cred.EGID}
+		return q, cred, nil
+	default:
+		return IdentQuery{}, ids.Credential{}, fmt.Errorf("%w: reply type %q", ErrIdentMalformed, fields[1])
+	}
+}
+
+// IdentResponder answers ident queries for one host: the per-node
+// agent the receiving daemon contacts over the wire.
+type IdentResponder struct {
+	host *netsim.Host
+	net  *netsim.Network
+}
+
+// NewIdentResponder builds the responder for a host.
+func NewIdentResponder(net *netsim.Network, host *netsim.Host) *IdentResponder {
+	return &IdentResponder{host: host, net: net}
+}
+
+// Answer handles one serialized query line and returns the response
+// line. proto selects which socket table is consulted.
+func (r *IdentResponder) Answer(proto netsim.Proto, line string) string {
+	q, err := ParseIdentQuery(line)
+	if err != nil {
+		return FormatIdentError(IdentQuery{}, "UNKNOWN-ERROR")
+	}
+	cred, err := r.net.Ident(r.host.Name(), proto, q.ServerPort)
+	if err != nil {
+		return FormatIdentError(q, "NO-USER")
+	}
+	return FormatIdentResponse(q, cred)
+}
+
+// WireIdent performs a full round trip through the text protocol:
+// format the query, have the remote responder answer, parse the
+// reply. Daemon.Hook uses the in-process fast path for speed; this
+// function exists to prove (and test) that the wire form carries
+// everything the decision needs.
+func WireIdent(net *netsim.Network, remoteHost string, proto netsim.Proto, serverPort, clientPort int) (ids.Credential, error) {
+	h, err := net.Host(remoteHost)
+	if err != nil {
+		return ids.Credential{}, err
+	}
+	r := NewIdentResponder(net, h)
+	reply := r.Answer(proto, FormatIdentQuery(IdentQuery{ServerPort: serverPort, ClientPort: clientPort}))
+	_, cred, err := ParseIdentResponse(reply)
+	return cred, err
+}

@@ -1,0 +1,145 @@
+package ubf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+func TestIdentQueryRoundtrip(t *testing.T) {
+	q := IdentQuery{ServerPort: 6193, ClientPort: 23}
+	line := FormatIdentQuery(q)
+	if line != "6193, 23\r\n" {
+		t.Errorf("query line = %q", line)
+	}
+	got, err := ParseIdentQuery(line)
+	if err != nil || got != q {
+		t.Errorf("parse = %+v, %v", got, err)
+	}
+}
+
+func TestParseIdentQueryMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"", "x", "1", "1, 2, 3", "a, b", "-1, 5", "70000, 5", "0, 0",
+	} {
+		if _, err := ParseIdentQuery(bad); !errors.Is(err, ErrIdentMalformed) {
+			t.Errorf("ParseIdentQuery(%q) err = %v, want ErrIdentMalformed", bad, err)
+		}
+	}
+}
+
+func TestIdentResponseRoundtrip(t *testing.T) {
+	q := IdentQuery{ServerPort: 5000, ClientPort: 40001}
+	cred := ids.Credential{UID: 1000, EGID: 1005}
+	line := FormatIdentResponse(q, cred)
+	if line != "5000, 40001 : USERID : UNIX : uid=1000 egid=1005\r\n" {
+		t.Errorf("response line = %q", line)
+	}
+	gq, gc, err := ParseIdentResponse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gq != q || gc.UID != 1000 || gc.EGID != 1005 {
+		t.Errorf("parsed %+v %+v", gq, gc)
+	}
+}
+
+func TestParseIdentResponseErrors(t *testing.T) {
+	q := IdentQuery{ServerPort: 1, ClientPort: 2}
+	if _, _, err := ParseIdentResponse(FormatIdentError(q, "NO-USER")); !errors.Is(err, ErrIdentNoUser) {
+		t.Errorf("NO-USER err = %v", err)
+	}
+	if _, _, err := ParseIdentResponse(FormatIdentError(q, "HIDDEN-USER")); !errors.Is(err, ErrIdentHiddenUser) {
+		t.Errorf("HIDDEN-USER err = %v", err)
+	}
+	for _, bad := range []string{
+		"",
+		"garbage",
+		"1, 2 : BOGUS : x",
+		"1, 2 : USERID : UNIX",            // missing field
+		"1, 2 : USERID : UNIX : uid=x",    // non-numeric
+		"1, 2 : USERID : UNIX : uid=5",    // missing egid
+		"1, 2 : USERID : UNIX : nonsense", // no k=v
+		"1, 2 : ERROR : WEIRD-TOKEN",      // unknown token
+	} {
+		if _, _, err := ParseIdentResponse(bad); err == nil {
+			t.Errorf("ParseIdentResponse(%q) succeeded", bad)
+		}
+	}
+}
+
+// Property: format→parse is the identity on valid port pairs and
+// credentials.
+func TestQuickIdentWireRoundtrip(t *testing.T) {
+	f := func(sp, cp uint16, uid, egid uint16) bool {
+		if sp == 0 || cp == 0 {
+			return true
+		}
+		q := IdentQuery{ServerPort: int(sp), ClientPort: int(cp)}
+		cred := ids.Credential{UID: ids.UID(uid), EGID: ids.GID(egid)}
+		if uid == 0xFFFF || egid == 0xFFFF {
+			return true // avoid the NoUID/NoGID sentinels
+		}
+		gq, gc, err := ParseIdentResponse(FormatIdentResponse(q, cred))
+		return err == nil && gq == q && gc.UID == cred.UID && gc.EGID == cred.EGID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentResponderAnswers(t *testing.T) {
+	n := netsim.NewNetwork()
+	h := n.AddHost("node1")
+	alice := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	if _, err := h.Listen(alice, netsim.TCP, 5000); err != nil {
+		t.Fatal(err)
+	}
+	r := NewIdentResponder(n, h)
+	reply := r.Answer(netsim.TCP, "5000, 40000\r\n")
+	if !strings.Contains(reply, "USERID") || !strings.Contains(reply, "uid=1000") {
+		t.Errorf("reply = %q", reply)
+	}
+	// Unbound port: NO-USER.
+	if reply := r.Answer(netsim.TCP, "9999, 1\r\n"); !strings.Contains(reply, "NO-USER") {
+		t.Errorf("unbound reply = %q", reply)
+	}
+	// Garbage: UNKNOWN-ERROR.
+	if reply := r.Answer(netsim.TCP, "zzz\r\n"); !strings.Contains(reply, "UNKNOWN-ERROR") {
+		t.Errorf("garbage reply = %q", reply)
+	}
+}
+
+func TestWireIdentEndToEnd(t *testing.T) {
+	n := netsim.NewNetwork()
+	h := n.AddHost("node1")
+	n.AddHost("node2")
+	alice := ids.Credential{UID: 1000, EGID: 1042, Groups: []ids.GID{1000, 1042}}
+	if _, err := h.Listen(alice, netsim.TCP, 5000); err != nil {
+		t.Fatal(err)
+	}
+	cred, err := WireIdent(n, "node1", netsim.TCP, 5000, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.UID != 1000 || cred.EGID != 1042 {
+		t.Errorf("wire cred = %+v", cred)
+	}
+	// The wire decision equals the in-process decision.
+	d := New(Config{AllowGroupPeers: true})
+	connector := ids.Credential{UID: 2000, EGID: 2000, Groups: []ids.GID{2000, 1042}}
+	v, _ := d.decide(connector, cred)
+	if v != netsim.Accept {
+		t.Errorf("wire-derived group decision = %v, want Accept", v)
+	}
+	if _, err := WireIdent(n, "ghost", netsim.TCP, 1, 1); err == nil {
+		t.Errorf("ghost host wire ident succeeded")
+	}
+	if _, err := WireIdent(n, "node2", netsim.TCP, 5000, 1); !errors.Is(err, ErrIdentNoUser) {
+		t.Errorf("unbound wire ident err = %v", err)
+	}
+}

@@ -1,0 +1,233 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// This file adds the remaining filesystem semantics the paper's
+// environment depends on: symlinks (with the fs.protected_symlinks
+// hardening that pairs with sticky /tmp), rename, and per-user block
+// quotas (every shared HPC filesystem runs them).
+
+// Symlink-specific errors.
+var (
+	ErrSymlinkLoop      = errors.New("vfs: too many levels of symbolic links")
+	ErrProtectedSymlink = errors.New("vfs: symlink following denied by protected_symlinks")
+	ErrQuota            = errors.New("vfs: disk quota exceeded")
+	ErrNotFile          = errors.New("vfs: not a regular file")
+)
+
+// TypeSymlink extends FileType for symbolic links.
+const TypeSymlink FileType = 3
+
+const maxSymlinkHops = 40
+
+// Symlink creates a symbolic link at linkPath pointing to target
+// (target need not exist — dangling links are legal).
+func (fs *FS) Symlink(ctx Context, target, linkPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.walkParent(ctx, linkPath)
+	if err != nil {
+		return err
+	}
+	if _, dup := dir.children[name]; dup {
+		return fmt.Errorf("%w: %s", ErrExist, linkPath)
+	}
+	if !fs.can(ctx.Cred, dir, 3) {
+		return fmt.Errorf("%w: symlink %s", ErrPermission, linkPath)
+	}
+	dir.children[name] = &inode{
+		name: name, typ: TypeSymlink,
+		owner: ctx.Cred.UID, group: ctx.Cred.EGID,
+		mode: 0o777, // symlink modes are ignored, like Linux
+		data: []byte(target),
+	}
+	return nil
+}
+
+// Readlink returns the link target.
+func (fs *FS) Readlink(ctx Context, path string) (string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walkNoFollow(ctx, path)
+	if err != nil {
+		return "", err
+	}
+	if n.typ != TypeSymlink {
+		return "", fmt.Errorf("%w: %s", ErrInvalid, path)
+	}
+	return string(n.data), nil
+}
+
+// walkNoFollow resolves the path like walk but does not follow a
+// symlink in the final component (lstat semantics). Caller holds
+// fs.mu.
+func (fs *FS) walkNoFollow(ctx Context, path string) (*inode, error) {
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := dir.children[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return n, nil
+}
+
+// Lstat is Stat without following a final symlink.
+func (fs *FS) Lstat(ctx Context, path string) (*FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walkNoFollow(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.infoOf(n, path), nil
+}
+
+// ResolveLinks follows symlinks at the final component until a
+// non-link inode (or error). It enforces the protected_symlinks rule
+// when the mount policy enables it: inside a sticky world-writable
+// directory, a symlink is followed only when its owner matches either
+// the follower or the directory owner — the kernel hardening that
+// kills /tmp symlink-planting attacks.
+func (fs *FS) ResolveLinks(ctx Context, path string) (string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.resolveLinksLocked(ctx, path, 0)
+}
+
+func (fs *FS) resolveLinksLocked(ctx Context, path string, hops int) (string, error) {
+	if hops > maxSymlinkHops {
+		return "", fmt.Errorf("%w: %s", ErrSymlinkLoop, path)
+	}
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return "", err
+	}
+	n, ok := dir.children[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	if n.typ != TypeSymlink {
+		return path, nil
+	}
+	if fs.Policy.ProtectedSymlinks && !ctx.Cred.IsRoot() {
+		sticky := dir.mode&ModeSticky != 0
+		worldWritable := dir.mode&0o002 != 0
+		if sticky && worldWritable && n.owner != ctx.Cred.UID && n.owner != dir.owner {
+			return "", fmt.Errorf("%w: %s (link owner %d)", ErrProtectedSymlink, path, n.owner)
+		}
+	}
+	return fs.resolveLinksLocked(ctx, string(n.data), hops+1)
+}
+
+// ReadFileFollow reads through symlinks (ReadFile itself is
+// strict-inode; most callers in this codebase address real files).
+func (fs *FS) ReadFileFollow(ctx Context, path string) ([]byte, error) {
+	real, err := fs.ResolveLinks(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.ReadFile(ctx, real)
+}
+
+// WriteFileFollow writes through symlinks — the call a symlink-
+// planting attack needs to subvert.
+func (fs *FS) WriteFileFollow(ctx Context, path string, data []byte, mode uint32) error {
+	real, err := fs.ResolveLinks(ctx, path)
+	if err != nil {
+		return err
+	}
+	return fs.WriteFile(ctx, real, data, mode)
+}
+
+// Rename moves oldPath to newPath (within this mount). POSIX rules:
+// w+x on both parent directories, sticky-directory deletion rules on
+// the source, destination must not be an existing non-empty dir.
+func (fs *FS) Rename(ctx Context, oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	oldDir, oldName, err := fs.walkParent(ctx, oldPath)
+	if err != nil {
+		return err
+	}
+	n, ok := oldDir.children[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldPath)
+	}
+	newDir, newName, err := fs.walkParent(ctx, newPath)
+	if err != nil {
+		return err
+	}
+	if !fs.can(ctx.Cred, oldDir, 3) || !fs.can(ctx.Cred, newDir, 3) {
+		return fmt.Errorf("%w: rename %s -> %s", ErrPermission, oldPath, newPath)
+	}
+	if oldDir.mode&ModeSticky != 0 && !ctx.Cred.IsRoot() &&
+		ctx.Cred.UID != n.owner && ctx.Cred.UID != oldDir.owner {
+		return fmt.Errorf("%w: sticky rename %s", ErrPermission, oldPath)
+	}
+	if existing, dup := newDir.children[newName]; dup {
+		if existing.typ == TypeDir && len(existing.children) > 0 {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, newPath)
+		}
+		if newDir.mode&ModeSticky != 0 && !ctx.Cred.IsRoot() &&
+			ctx.Cred.UID != existing.owner && ctx.Cred.UID != newDir.owner {
+			return fmt.Errorf("%w: sticky overwrite %s", ErrPermission, newPath)
+		}
+	}
+	delete(oldDir.children, oldName)
+	n.name = newName
+	newDir.children[newName] = n
+	return nil
+}
+
+// --- Quotas ---
+
+// SetQuota sets a per-user byte limit on this mount (0 removes the
+// limit). Root is never charged.
+func (fs *FS) SetQuota(uid ids.UID, limit int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.quota == nil {
+		fs.quota = make(map[ids.UID]int64)
+	}
+	if limit == 0 {
+		delete(fs.quota, uid)
+		return
+	}
+	fs.quota[uid] = limit
+}
+
+// Usage returns the bytes currently charged to uid.
+func (fs *FS) Usage(uid ids.UID) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.usage[uid]
+}
+
+// chargeQuota validates and applies a usage delta for uid. Caller
+// holds fs.mu. delta may be negative (frees space, always allowed).
+func (fs *FS) chargeQuota(uid ids.UID, delta int64) error {
+	if uid == ids.Root {
+		return nil
+	}
+	if fs.usage == nil {
+		fs.usage = make(map[ids.UID]int64)
+	}
+	next := fs.usage[uid] + delta
+	if delta > 0 {
+		if limit, ok := fs.quota[uid]; ok && next > limit {
+			return fmt.Errorf("%w: uid %d usage %d + %d > %d", ErrQuota, uid, fs.usage[uid], delta, limit)
+		}
+	}
+	if next < 0 {
+		next = 0
+	}
+	fs.usage[uid] = next
+	return nil
+}

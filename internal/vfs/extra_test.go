@@ -1,0 +1,235 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestSymlinkReadThrough(t *testing.T) {
+	fs, _, creds, _ := newWorld(t, Policy{})
+	alice := Ctx(creds["alice"])
+	if err := fs.WriteFile(alice, "/home/alice/real.txt", []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink(alice, "/home/alice/real.txt", "/home/alice/link"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFileFollow(alice, "/home/alice/link")
+	if err != nil || string(got) != "payload" {
+		t.Errorf("follow read = %q, %v", got, err)
+	}
+	// Readlink and Lstat see the link itself.
+	target, err := fs.Readlink(alice, "/home/alice/link")
+	if err != nil || target != "/home/alice/real.txt" {
+		t.Errorf("readlink = %q, %v", target, err)
+	}
+	fi, err := fs.Lstat(alice, "/home/alice/link")
+	if err != nil || fi.Type != TypeSymlink {
+		t.Errorf("lstat = %+v, %v", fi, err)
+	}
+	if TypeSymlink.String() != "symlink" {
+		t.Error("TypeSymlink.String")
+	}
+	// Readlink on a non-link is EINVAL.
+	if _, err := fs.Readlink(alice, "/home/alice/real.txt"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("readlink on file err = %v", err)
+	}
+}
+
+func TestSymlinkDanglingAndLoops(t *testing.T) {
+	fs, _, creds, _ := newWorld(t, Policy{})
+	alice := Ctx(creds["alice"])
+	if err := fs.Symlink(alice, "/home/alice/missing", "/home/alice/dangle"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFileFollow(alice, "/home/alice/dangle"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("dangling read err = %v", err)
+	}
+	// Loop: a -> b -> a.
+	if err := fs.Symlink(alice, "/home/alice/b", "/home/alice/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink(alice, "/home/alice/a", "/home/alice/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFileFollow(alice, "/home/alice/a"); !errors.Is(err, ErrSymlinkLoop) {
+		t.Errorf("loop read err = %v", err)
+	}
+	// Duplicate link path.
+	if err := fs.Symlink(alice, "/x", "/home/alice/a"); !errors.Is(err, ErrExist) {
+		t.Errorf("dup symlink err = %v", err)
+	}
+}
+
+func TestProtectedSymlinksBlockTmpPlanting(t *testing.T) {
+	// The /tmp symlink-planting attack: bob plants a link named like
+	// alice's expected scratch file, pointing at a path bob controls.
+	// With protected_symlinks, alice's follow is refused.
+	fs, _, creds, _ := newWorld(t, Policy{ProtectedSymlinks: true})
+	if err := fs.CreateTmp("/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	alice, bob := Ctx(creds["alice"]), Ctx(creds["bob"])
+	if err := fs.WriteFile(bob, "/home/bob/trap.txt", []byte("trap"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink(bob, "/home/bob/trap.txt", "/tmp/alice-output.tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ResolveLinks(alice, "/tmp/alice-output.tmp"); !errors.Is(err, ErrProtectedSymlink) {
+		t.Errorf("planted-link follow err = %v, want ErrProtectedSymlink", err)
+	}
+	// Write-through is equally refused.
+	if err := fs.WriteFileFollow(alice, "/tmp/alice-output.tmp", []byte("secret"), 0o600); !errors.Is(err, ErrProtectedSymlink) {
+		t.Errorf("planted-link write err = %v", err)
+	}
+	// Bob can follow his own link; root can follow anything.
+	if _, err := fs.ResolveLinks(bob, "/tmp/alice-output.tmp"); err != nil {
+		t.Errorf("own-link follow: %v", err)
+	}
+	if _, err := fs.ResolveLinks(Ctx(ids.RootCred()), "/tmp/alice-output.tmp"); err != nil {
+		t.Errorf("root follow: %v", err)
+	}
+}
+
+func TestProtectedSymlinksOffBaselineAttackWorks(t *testing.T) {
+	fs, _, creds, _ := newWorld(t, Policy{})
+	if err := fs.CreateTmp("/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	alice, bob := Ctx(creds["alice"]), Ctx(creds["bob"])
+	// Bob's trap target must be writable by alice for the harvest to
+	// work; chmod it world-writable (no smask in the baseline).
+	if err := fs.WriteFile(bob, "/tmp/trap-target", []byte(""), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chmod(bob, "/tmp/trap-target", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink(bob, "/tmp/trap-target", "/tmp/alice-output.tmp"); err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: alice follows bob's planted link and writes into a
+	// bob-readable file.
+	if err := fs.WriteFileFollow(alice, "/tmp/alice-output.tmp", []byte("secret"), 0o600); err != nil {
+		t.Fatalf("baseline planted write: %v", err)
+	}
+	got, err := fs.ReadFile(bob, "/tmp/trap-target")
+	if err != nil || string(got) != "secret" {
+		t.Errorf("bob harvest = %q, %v (attack should work in baseline)", got, err)
+	}
+}
+
+func TestRenameBasicAndSticky(t *testing.T) {
+	fs, _, creds, _ := newWorld(t, Policy{})
+	if err := fs.CreateTmp("/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	alice, bob := Ctx(creds["alice"]), Ctx(creds["bob"])
+	if err := fs.WriteFile(alice, "/home/alice/a.txt", []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(alice, "/home/alice/a.txt", "/home/alice/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(alice, "/home/alice/a.txt"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("old path survives rename")
+	}
+	if got, err := fs.ReadFile(alice, "/home/alice/b.txt"); err != nil || string(got) != "v" {
+		t.Errorf("renamed read = %q, %v", got, err)
+	}
+	// Sticky: bob cannot rename alice's /tmp file away.
+	if err := fs.WriteFile(alice, "/tmp/a.lock", nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(bob, "/tmp/a.lock", "/tmp/stolen"); !errors.Is(err, ErrPermission) {
+		t.Errorf("sticky rename err = %v", err)
+	}
+	// Missing source.
+	if err := fs.Rename(alice, "/home/alice/ghost", "/home/alice/x"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing rename err = %v", err)
+	}
+	// Cannot clobber a non-empty dir.
+	if err := fs.Mkdir(alice, "/home/alice/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(alice, "/home/alice/dir/f", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(alice, "/home/alice/b.txt", "/home/alice/dir"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("clobber dir err = %v", err)
+	}
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	fs, _, creds, _ := newWorld(t, Policy{})
+	alice := Ctx(creds["alice"])
+	uid := creds["alice"].UID
+	fs.SetQuota(uid, 100)
+	if err := fs.WriteFile(alice, "/home/alice/f1", make([]byte, 60), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Usage(uid); got != 60 {
+		t.Errorf("usage = %d", got)
+	}
+	// Second write would exceed.
+	if err := fs.WriteFile(alice, "/home/alice/f2", make([]byte, 50), 0o644); !errors.Is(err, ErrQuota) {
+		t.Errorf("over-quota write err = %v", err)
+	}
+	// Append hits quota too.
+	if err := fs.AppendFile(alice, "/home/alice/f1", make([]byte, 50)); !errors.Is(err, ErrQuota) {
+		t.Errorf("over-quota append err = %v", err)
+	}
+	// Shrink-in-place frees.
+	if err := fs.WriteFile(alice, "/home/alice/f1", make([]byte, 10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Usage(uid); got != 10 {
+		t.Errorf("usage after shrink = %d", got)
+	}
+	// Unlink frees.
+	if err := fs.Unlink(alice, "/home/alice/f1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Usage(uid); got != 0 {
+		t.Errorf("usage after unlink = %d", got)
+	}
+	// Removing the quota lifts the limit.
+	fs.SetQuota(uid, 0)
+	if err := fs.WriteFile(alice, "/home/alice/big", make([]byte, 1000), 0o644); err != nil {
+		t.Errorf("unlimited write: %v", err)
+	}
+}
+
+func TestQuotaFollowsChown(t *testing.T) {
+	fs, _, creds, _ := newWorld(t, Policy{})
+	root := Ctx(ids.RootCred())
+	alice, bob := creds["alice"].UID, creds["bob"].UID
+	if err := fs.WriteFile(Ctx(creds["alice"]), "/home/alice/f", make([]byte, 40), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chown(root, "/home/alice/f", bob, ids.NoGID); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Usage(alice) != 0 || fs.Usage(bob) != 40 {
+		t.Errorf("usage after chown: alice=%d bob=%d", fs.Usage(alice), fs.Usage(bob))
+	}
+	// Chown to an over-quota user is refused.
+	fs.SetQuota(alice, 10)
+	if err := fs.Chown(root, "/home/alice/f", alice, ids.NoGID); !errors.Is(err, ErrQuota) {
+		t.Errorf("chown into full quota err = %v", err)
+	}
+}
+
+func TestRootExemptFromQuota(t *testing.T) {
+	fs, _, _, _ := newWorld(t, Policy{})
+	fs.SetQuota(ids.Root, 1)
+	if err := fs.WriteFile(Ctx(ids.RootCred()), "/bigfile", make([]byte, 1000), 0o644); err != nil {
+		t.Errorf("root quota applied: %v", err)
+	}
+	if fs.Usage(ids.Root) != 0 {
+		t.Errorf("root charged: %d", fs.Usage(ids.Root))
+	}
+}

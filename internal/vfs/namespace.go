@@ -1,0 +1,151 @@
+package vfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Namespace is a node's mount table: it routes absolute paths to the
+// FS mounted at the longest matching prefix, the way a compute node
+// sees the shared Lustre filesystem at /home and /scratch and its own
+// local disk at /tmp. All paths handed to the mounted FS are kept
+// absolute and mount-relative.
+type Namespace struct {
+	mu     sync.RWMutex
+	mounts map[string]*FS // mount point -> fs
+}
+
+// NewNamespace returns an empty mount table.
+func NewNamespace() *Namespace {
+	return &Namespace{mounts: make(map[string]*FS)}
+}
+
+// Mount attaches fs at the given absolute mount point. Mounting at
+// "/" provides the root filesystem.
+func (ns *Namespace) Mount(point string, fs *FS) error {
+	if !strings.HasPrefix(point, "/") {
+		return fmt.Errorf("%w: mount point %q", ErrInvalid, point)
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.mounts[strings.TrimRight(point, "/")] = fs
+	return nil
+}
+
+// Resolve returns the FS responsible for path. The path is forwarded
+// unchanged (mounted filesystems carry their full tree, e.g. the
+// node-local FS contains /tmp and /dev/shm as directories), which
+// keeps one local FS usable behind several mount points without the
+// two aliasing each other.
+func (ns *Namespace) Resolve(path string) (*FS, string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, "", fmt.Errorf("%w: path %q not absolute", ErrInvalid, path)
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	best := ""
+	found := false
+	for point := range ns.mounts {
+		p := point
+		if p == "" {
+			p = "/"
+		}
+		if p == "/" || path == point || strings.HasPrefix(path, point+"/") {
+			if len(point) >= len(best) && (p == "/" || path == point || strings.HasPrefix(path, point+"/")) {
+				if !found || len(point) > len(best) {
+					best = point
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return nil, "", fmt.Errorf("%w: no filesystem mounted for %s", ErrNotExist, path)
+	}
+	return ns.mounts[best], path, nil
+}
+
+// Mounts lists mount points sorted ascending, with the FS names.
+func (ns *Namespace) Mounts() []string {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	out := make([]string, 0, len(ns.mounts))
+	for point, fs := range ns.mounts {
+		p := point
+		if p == "" {
+			p = "/"
+		}
+		out = append(out, p+" ("+fs.Name+")")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Convenience pass-throughs so callers can operate on namespace paths
+// without resolving by hand. Each resolves the mount, rewrites the
+// path, and forwards.
+
+// WriteFile forwards to the responsible mount.
+func (ns *Namespace) WriteFile(ctx Context, path string, data []byte, mode uint32) error {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.WriteFile(ctx, rel, data, mode)
+}
+
+// ReadFile forwards to the responsible mount.
+func (ns *Namespace) ReadFile(ctx Context, path string) ([]byte, error) {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.ReadFile(ctx, rel)
+}
+
+// Mkdir forwards to the responsible mount.
+func (ns *Namespace) Mkdir(ctx Context, path string, mode uint32) error {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.Mkdir(ctx, rel, mode)
+}
+
+// ReadDir forwards to the responsible mount.
+func (ns *Namespace) ReadDir(ctx Context, path string) ([]string, error) {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.ReadDir(ctx, rel)
+}
+
+// Stat forwards to the responsible mount.
+func (ns *Namespace) Stat(ctx Context, path string) (*FileInfo, error) {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Stat(ctx, rel)
+}
+
+// Chmod forwards to the responsible mount.
+func (ns *Namespace) Chmod(ctx Context, path string, mode uint32) error {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.Chmod(ctx, rel, mode)
+}
+
+// Unlink forwards to the responsible mount.
+func (ns *Namespace) Unlink(ctx Context, path string) error {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.Unlink(ctx, rel)
+}

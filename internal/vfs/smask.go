@@ -1,0 +1,54 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// SmaskRelax implements the paper's smask_relax tool (§IV-C):
+// whitelisted HPC support personnel — research facilitators who need
+// to publish shared datasets, AI models, or software trees to all
+// users — may enter a shell session whose effective smask is relaxed
+// (production uses 002), set global read/execute bits on those areas,
+// and then leave the session.
+type SmaskRelax struct {
+	// RelaxedMask is the session smask, e.g. 0o002.
+	RelaxedMask uint32
+	whitelist   map[ids.UID]bool
+}
+
+// ErrNotWhitelisted is returned when a non-support user invokes
+// smask_relax.
+var ErrNotWhitelisted = errors.New("vfs: user not whitelisted for smask_relax")
+
+// NewSmaskRelax builds the tool with the given relaxed mask and
+// support-staff whitelist.
+func NewSmaskRelax(relaxed uint32, staff ...ids.UID) *SmaskRelax {
+	wl := make(map[ids.UID]bool, len(staff))
+	for _, u := range staff {
+		wl[u] = true
+	}
+	return &SmaskRelax{RelaxedMask: relaxed, whitelist: wl}
+}
+
+// Enter returns a Context whose smask is relaxed for the session.
+func (s *SmaskRelax) Enter(ctx Context) (Context, error) {
+	if !s.whitelist[ctx.Cred.UID] {
+		return ctx, fmt.Errorf("%w: uid %d", ErrNotWhitelisted, ctx.Cred.UID)
+	}
+	nc := ctx
+	nc.SmaskOverride = s.RelaxedMask
+	nc.HasOverride = true
+	return nc, nil
+}
+
+// Leave returns a Context with the mount policy's smask back in
+// force.
+func (s *SmaskRelax) Leave(ctx Context) Context {
+	nc := ctx
+	nc.SmaskOverride = 0
+	nc.HasOverride = false
+	return nc
+}

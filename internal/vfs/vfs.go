@@ -1,0 +1,451 @@
+// Package vfs implements the filesystem substrate of the simulated
+// HPC system: an in-memory POSIX-style filesystem with full
+// owner/group/other permission evaluation, umask, POSIX-style ACLs,
+// setgid/sticky directories — plus the paper's additions (§IV-C):
+//
+//   - the smask ("security mask") kernel patch: an immutable, enforced
+//     umask that blocks world permission bits for unprivileged users,
+//     applied at create time AND at chmod time;
+//   - ACL restriction: a user may only grant a group ACL to a group
+//     they are a member of, and user ACLs only to users they share a
+//     supplemental group with;
+//   - root-owned, private-group-owned home directories;
+//   - the smask_relax tool for whitelisted support staff.
+//
+// One FS value is one mount: the cluster wires a shared (Lustre-like)
+// FS at /home and /scratch on every node, and per-node FSes at /tmp
+// and /dev/shm (see Namespace).
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// Mode bits beyond rwxrwxrwx.
+const (
+	ModeSetuid uint32 = 0o4000
+	ModeSetgid uint32 = 0o2000
+	ModeSticky uint32 = 0o1000
+	permMask   uint32 = 0o7777
+)
+
+// FileType distinguishes inode kinds.
+type FileType int
+
+// Inode kinds.
+const (
+	TypeFile FileType = iota
+	TypeDir
+	TypeSocket // unix domain socket endpoints (abstract ns handled by netsim)
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeFile:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSocket:
+		return "socket"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return "?"
+	}
+}
+
+// VFS errors (errno-like).
+var (
+	ErrNotExist   = errors.New("vfs: no such file or directory")
+	ErrExist      = errors.New("vfs: file exists")
+	ErrPermission = errors.New("vfs: permission denied")
+	ErrNotDir     = errors.New("vfs: not a directory")
+	ErrIsDir      = errors.New("vfs: is a directory")
+	ErrNotEmpty   = errors.New("vfs: directory not empty")
+	ErrInvalid    = errors.New("vfs: invalid argument")
+	ErrACLDenied  = errors.New("vfs: acl grant rejected by group-membership restriction")
+)
+
+// inode is the internal tree node. Access only while holding FS.mu.
+type inode struct {
+	name     string
+	typ      FileType
+	owner    ids.UID
+	group    ids.GID
+	mode     uint32 // low 12 bits
+	data     []byte
+	children map[string]*inode
+	acl      *ACL
+}
+
+// FileInfo is the external, copy-safe view of an inode.
+type FileInfo struct {
+	Name  string
+	Path  string
+	Type  FileType
+	Owner ids.UID
+	Group ids.GID
+	Mode  uint32
+	Size  int64
+	ACL   *ACL // nil if none; deep copy
+}
+
+// Policy configures per-mount enforcement.
+type Policy struct {
+	// SmaskEnabled turns on the smask kernel patch for this mount.
+	SmaskEnabled bool
+	// Smask is the enforced mask (paper deploys 007: no world bits).
+	Smask uint32
+	// ACLRestrict enables the paper's member-group ACL restriction.
+	ACLRestrict bool
+	// ProtectedSymlinks enables the fs.protected_symlinks hardening:
+	// in sticky world-writable directories, symlinks are followed
+	// only when owned by the follower or the directory owner.
+	ProtectedSymlinks bool
+}
+
+// DefaultSmask is the paper's production setting: block all world
+// bits, like an immutable umask 007.
+const DefaultSmask uint32 = 0o007
+
+// Context carries the identity state of the calling process: its
+// credential, its umask, and its session smask override (set by
+// smask_relax). A zero SmaskOverride means "use the mount policy".
+type Context struct {
+	Cred          ids.Credential
+	Umask         uint32
+	SmaskOverride uint32 // e.g. 0o002 inside an smask_relax session
+	HasOverride   bool
+}
+
+// Ctx is a convenience constructor with the conventional umask 022.
+func Ctx(cred ids.Credential) Context {
+	return Context{Cred: cred, Umask: 0o022}
+}
+
+// FS is one mount. Safe for concurrent use.
+type FS struct {
+	Name   string
+	Policy Policy
+	reg    *ids.Registry
+	mu     sync.RWMutex
+	root   *inode
+	quota  map[ids.UID]int64 // per-user byte limits (0 entries = unlimited)
+	usage  map[ids.UID]int64 // per-user bytes charged
+}
+
+// New creates an empty filesystem whose root is owned by root with
+// mode 0755. reg is consulted for ACL membership checks; it may be
+// nil if Policy.ACLRestrict is false.
+func New(name string, policy Policy, reg *ids.Registry) *FS {
+	return &FS{
+		Name:   name,
+		Policy: policy,
+		reg:    reg,
+		root: &inode{
+			name: "/", typ: TypeDir,
+			owner: ids.Root, group: ids.RootGroup, mode: 0o755,
+			children: make(map[string]*inode),
+		},
+	}
+}
+
+// splitPath normalizes and splits an absolute path.
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("%w: path %q not absolute", ErrInvalid, path)
+	}
+	var parts []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			if len(parts) > 0 {
+				parts = parts[:len(parts)-1]
+			}
+		default:
+			parts = append(parts, c)
+		}
+	}
+	return parts, nil
+}
+
+// walk resolves path to an inode, enforcing execute (search)
+// permission on every directory along the way. Caller holds fs.mu.
+func (fs *FS) walk(ctx Context, path string) (*inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := fs.root
+	for i, part := range parts {
+		if cur.typ != TypeDir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, strings.Join(parts[:i], "/"))
+		}
+		if !fs.can(ctx.Cred, cur, 1) { // x on the directory
+			return nil, fmt.Errorf("%w: search %q", ErrPermission, "/"+strings.Join(parts[:i], "/"))
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// walkParent resolves the parent directory of path and returns it
+// plus the final component name.
+func (fs *FS) walkParent(ctx Context, path string) (*inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%w: cannot operate on /", ErrInvalid)
+	}
+	dir, err := fs.walk(ctx, "/"+strings.Join(parts[:len(parts)-1], "/"))
+	if err != nil {
+		return nil, "", err
+	}
+	if dir.typ != TypeDir {
+		return nil, "", fmt.Errorf("%w: parent of %s", ErrNotDir, path)
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// effectiveCreateMode applies umask and (if enabled) smask to a
+// requested creation mode.
+func (fs *FS) effectiveCreateMode(ctx Context, req uint32) uint32 {
+	m := req & permMask &^ ctx.Umask
+	return fs.applySmask(ctx, m)
+}
+
+// applySmask enforces the security mask for unprivileged users: world
+// bits named in the smask are stripped, immutably (paper §IV-C). An
+// smask_relax session substitutes its relaxed mask.
+func (fs *FS) applySmask(ctx Context, m uint32) uint32 {
+	if !fs.Policy.SmaskEnabled || ctx.Cred.IsRoot() {
+		return m
+	}
+	mask := fs.Policy.Smask
+	if ctx.HasOverride {
+		mask = ctx.SmaskOverride
+	}
+	return m &^ mask
+}
+
+// Mkdir creates a directory. New directories inherit the parent's
+// group when the parent has setgid (the project-directory idiom).
+func (fs *FS) Mkdir(ctx Context, path string, mode uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mkdirLocked(ctx, path, mode)
+}
+
+func (fs *FS) mkdirLocked(ctx Context, path string, mode uint32) error {
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	if _, dup := dir.children[name]; dup {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	if !fs.can(ctx.Cred, dir, 3) { // w+x on parent
+		return fmt.Errorf("%w: mkdir %s", ErrPermission, path)
+	}
+	group := ctx.Cred.EGID
+	eff := fs.effectiveCreateMode(ctx, mode)
+	if dir.mode&ModeSetgid != 0 {
+		group = dir.group
+		eff |= ModeSetgid // setgid propagates down project trees
+	}
+	dir.children[name] = &inode{
+		name: name, typ: TypeDir,
+		owner: ctx.Cred.UID, group: group, mode: eff,
+		children: make(map[string]*inode),
+	}
+	return nil
+}
+
+// MkdirAll creates path and any missing parents with the given mode.
+func (fs *FS) MkdirAll(ctx Context, path string, mode uint32) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := range parts {
+		p := "/" + strings.Join(parts[:i+1], "/")
+		err := fs.mkdirLocked(ctx, p, mode)
+		if err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile creates or truncates a file with the given data. Creation
+// applies umask+smask; overwrite requires write permission on the
+// existing file.
+func (fs *FS) WriteFile(ctx Context, path string, data []byte, mode uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	if existing, ok := dir.children[name]; ok {
+		if existing.typ == TypeDir {
+			return fmt.Errorf("%w: %s", ErrIsDir, path)
+		}
+		if !fs.can(ctx.Cred, existing, 2) {
+			return fmt.Errorf("%w: write %s", ErrPermission, path)
+		}
+		if err := fs.chargeQuota(existing.owner, int64(len(data))-int64(len(existing.data))); err != nil {
+			return err
+		}
+		existing.data = append([]byte(nil), data...)
+		return nil
+	}
+	if !fs.can(ctx.Cred, dir, 3) {
+		return fmt.Errorf("%w: create %s", ErrPermission, path)
+	}
+	if err := fs.chargeQuota(ctx.Cred.UID, int64(len(data))); err != nil {
+		return err
+	}
+	group := ctx.Cred.EGID
+	if dir.mode&ModeSetgid != 0 {
+		group = dir.group
+	}
+	dir.children[name] = &inode{
+		name: name, typ: TypeFile,
+		owner: ctx.Cred.UID, group: group,
+		mode: fs.effectiveCreateMode(ctx, mode),
+		data: append([]byte(nil), data...),
+	}
+	return nil
+}
+
+// ReadFile returns the file's contents if ctx can read it.
+func (fs *FS) ReadFile(ctx Context, path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.typ == TypeDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	if !fs.can(ctx.Cred, n, 4) {
+		return nil, fmt.Errorf("%w: read %s", ErrPermission, path)
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// AppendFile appends data to an existing file (write permission).
+func (fs *FS) AppendFile(ctx Context, path string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.walk(ctx, path)
+	if err != nil {
+		return err
+	}
+	if n.typ == TypeDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	if !fs.can(ctx.Cred, n, 2) {
+		return fmt.Errorf("%w: append %s", ErrPermission, path)
+	}
+	if err := fs.chargeQuota(n.owner, int64(len(data))); err != nil {
+		return err
+	}
+	n.data = append(n.data, data...)
+	return nil
+}
+
+// ReadDir lists entry names (requires read on the directory). The
+// crucial residual channel: in a world-writable /tmp a stranger can
+// still *list names* even when contents are protected (paper §V).
+func (fs *FS) ReadDir(ctx Context, path string) ([]string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.typ != TypeDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	if !fs.can(ctx.Cred, n, 4) {
+		return nil, fmt.Errorf("%w: readdir %s", ErrPermission, path)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat returns metadata (requires search permission on parents only,
+// like POSIX stat).
+func (fs *FS) Stat(ctx Context, path string) (*FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.infoOf(n, path), nil
+}
+
+func (fs *FS) infoOf(n *inode, path string) *FileInfo {
+	fi := &FileInfo{
+		Name: n.name, Path: path, Type: n.typ,
+		Owner: n.owner, Group: n.group, Mode: n.mode,
+		Size: int64(len(n.data)),
+	}
+	if n.acl != nil {
+		fi.ACL = n.acl.Clone()
+	}
+	return fi
+}
+
+// Unlink removes a file or empty directory. In sticky directories
+// (/tmp) only the file owner, directory owner, or root may delete.
+func (fs *FS) Unlink(ctx Context, path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	n, ok := dir.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	if n.typ == TypeDir && len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	if !fs.can(ctx.Cred, dir, 3) {
+		return fmt.Errorf("%w: unlink in %s", ErrPermission, path)
+	}
+	if dir.mode&ModeSticky != 0 && !ctx.Cred.IsRoot() &&
+		ctx.Cred.UID != n.owner && ctx.Cred.UID != dir.owner {
+		return fmt.Errorf("%w: sticky %s", ErrPermission, path)
+	}
+	if n.typ == TypeFile {
+		_ = fs.chargeQuota(n.owner, -int64(len(n.data))) // frees always succeed
+	}
+	delete(dir.children, name)
+	return nil
+}

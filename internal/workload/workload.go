@@ -1,0 +1,180 @@
+// Package workload generates the job mixes the paper's environment
+// runs: large volumes of short bulk-synchronous jobs (parameter
+// sweeps, Monte Carlo simulations, §IV-B) and MPI-style jobs whose
+// ranks talk TCP across their allocated nodes (§IV-D). These drive
+// the scheduling-policy experiment (E4) and the UBF experiments
+// (E7/E8).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+)
+
+// Submission pairs a credential with a job spec.
+type Submission struct {
+	Cred ids.Credential
+	Spec sched.JobSpec
+}
+
+// SweepConfig describes a parameter-sweep batch: many small,
+// short, independent jobs from one user.
+type SweepConfig struct {
+	User     ids.Credential
+	Jobs     int
+	MinCores int
+	MaxCores int
+	MinDur   int64
+	MaxDur   int64
+	MemB     int64
+}
+
+// Sweep generates the batch deterministically from rng.
+func Sweep(rng *metrics.RNG, c SweepConfig) []Submission {
+	out := make([]Submission, 0, c.Jobs)
+	for i := 0; i < c.Jobs; i++ {
+		cores := c.MinCores
+		if c.MaxCores > c.MinCores {
+			cores += rng.Intn(c.MaxCores - c.MinCores + 1)
+		}
+		dur := c.MinDur
+		if c.MaxDur > c.MinDur {
+			dur += int64(rng.Intn(int(c.MaxDur - c.MinDur + 1)))
+		}
+		out = append(out, Submission{
+			Cred: c.User,
+			Spec: sched.JobSpec{
+				Name:     fmt.Sprintf("sweep-%d", i),
+				Command:  fmt.Sprintf("simulate --param=%d", i),
+				Cores:    cores,
+				MemB:     c.MemB,
+				Duration: dur,
+			},
+		})
+	}
+	return out
+}
+
+// MonteCarlo is a sweep whose jobs carry a seed parameter — identical
+// scheduling shape, different command lines (more cmdline surface for
+// the hidepid experiments).
+func MonteCarlo(rng *metrics.RNG, c SweepConfig) []Submission {
+	subs := Sweep(rng, c)
+	for i := range subs {
+		subs[i].Spec.Name = fmt.Sprintf("mc-%d", i)
+		subs[i].Spec.Command = fmt.Sprintf("montecarlo --seed=%d --trials=1000000", rng.Uint64())
+	}
+	return subs
+}
+
+// Mix interleaves batches from several users into one submit-order
+// stream, round-robin, which is the contended-scheduler scenario of
+// experiment E4.
+func Mix(batches ...[]Submission) []Submission {
+	var out []Submission
+	for i := 0; ; i++ {
+		advanced := false
+		for _, b := range batches {
+			if i < len(b) {
+				out = append(out, b[i])
+				advanced = true
+			}
+		}
+		if !advanced {
+			return out
+		}
+	}
+}
+
+// WithOOM marks every k-th job in the stream as exceeding its memory
+// request by factor (ActualMemB = factor × node-memory stand-in),
+// injecting the failure mode whole-node scheduling contains.
+func WithOOM(subs []Submission, every int, actualMemB int64) []Submission {
+	out := append([]Submission(nil), subs...)
+	for i := range out {
+		if every > 0 && i%every == every-1 {
+			out[i].Spec.ActualMemB = actualMemB
+		}
+	}
+	return out
+}
+
+// SubmitAll submits a stream, returning job IDs in submit order.
+func SubmitAll(s *sched.Scheduler, subs []Submission) ([]int, error) {
+	idsOut := make([]int, 0, len(subs))
+	for _, sub := range subs {
+		j, err := s.Submit(sub.Cred, sub.Spec)
+		if err != nil {
+			return idsOut, err
+		}
+		idsOut = append(idsOut, j.ID)
+	}
+	return idsOut, nil
+}
+
+// MPIResult summarizes the communication phase of an MPI-style job.
+type MPIResult struct {
+	Ranks      int
+	Connected  int
+	Dropped    int
+	BytesMoved int64
+}
+
+// RunMPI models the communication pattern of an MPI job: rank 0 (on
+// the job's first node) binds a coordinator port, every other rank
+// dials it over TCP and exchanges a payload. All ranks share one
+// user, so under the UBF this traffic is always admitted — the "MPI
+// frameworks do not authenticate peer ranks" gap is closed by the
+// system, not the framework (§II, §IV-D).
+//
+// hosts maps node names to network hosts; port must be unused on the
+// first node.
+func RunMPI(job *sched.Job, net *netsim.Network, port int, payload []byte) (*MPIResult, error) {
+	if len(job.Nodes) == 0 {
+		return nil, fmt.Errorf("workload: job %d has no nodes", job.ID)
+	}
+	res := &MPIResult{Ranks: len(job.Nodes)}
+	head, err := net.Host(job.Nodes[0])
+	if err != nil {
+		return nil, err
+	}
+	l, err := head.Listen(job.Cred, netsim.TCP, port)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	for _, nodeName := range job.Nodes[1:] {
+		h, err := net.Host(nodeName)
+		if err != nil {
+			return nil, err
+		}
+		c, err := h.Dial(job.Cred, netsim.TCP, job.Nodes[0], port)
+		if err != nil {
+			res.Dropped++
+			continue
+		}
+		res.Connected++
+		if err := c.Send(payload); err == nil {
+			res.BytesMoved += int64(len(payload))
+		}
+	}
+	// Drain at rank 0 to complete the exchange.
+	for {
+		c, ok := l.Accept()
+		if !ok {
+			break
+		}
+		for {
+			d, ok := c.Recv()
+			if !ok {
+				break
+			}
+			res.BytesMoved += int64(len(d))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/simos"
+	"repro/internal/ubf"
+)
+
+func cred(uid ids.UID) ids.Credential {
+	return ids.Credential{UID: uid, EGID: ids.GID(uid), Groups: []ids.GID{ids.GID(uid)}}
+}
+
+func nodes(n, cores int) []*simos.Node {
+	var out []*simos.Node
+	for i := 0; i < n; i++ {
+		out = append(out, simos.NewNode(fmt.Sprintf("c%02d", i), simos.Compute, cores, 1<<20, nil))
+	}
+	return out
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	cfg := SweepConfig{User: cred(1000), Jobs: 50, MinCores: 1, MaxCores: 4, MinDur: 1, MaxDur: 5, MemB: 10}
+	a := Sweep(metrics.NewRNG(1), cfg)
+	b := Sweep(metrics.NewRNG(1), cfg)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Spec.Cores != b[i].Spec.Cores || a[i].Spec.Duration != b[i].Spec.Duration {
+			t.Fatalf("sweep not deterministic at %d", i)
+		}
+		if a[i].Spec.Cores < 1 || a[i].Spec.Cores > 4 {
+			t.Errorf("cores out of range: %d", a[i].Spec.Cores)
+		}
+		if a[i].Spec.Duration < 1 || a[i].Spec.Duration > 5 {
+			t.Errorf("duration out of range: %d", a[i].Spec.Duration)
+		}
+	}
+}
+
+func TestMonteCarloCommandsDiffer(t *testing.T) {
+	cfg := SweepConfig{User: cred(1000), Jobs: 5, MinCores: 1, MaxCores: 1, MinDur: 1, MaxDur: 1, MemB: 1}
+	subs := MonteCarlo(metrics.NewRNG(2), cfg)
+	seen := map[string]bool{}
+	for _, s := range subs {
+		if seen[s.Spec.Command] {
+			t.Errorf("duplicate command %q", s.Spec.Command)
+		}
+		seen[s.Spec.Command] = true
+	}
+}
+
+func TestMixRoundRobin(t *testing.T) {
+	a := Sweep(metrics.NewRNG(1), SweepConfig{User: cred(1000), Jobs: 3, MinCores: 1, MaxCores: 1, MinDur: 1, MaxDur: 1, MemB: 1})
+	b := Sweep(metrics.NewRNG(2), SweepConfig{User: cred(2000), Jobs: 2, MinCores: 1, MaxCores: 1, MinDur: 1, MaxDur: 1, MemB: 1})
+	m := Mix(a, b)
+	if len(m) != 5 {
+		t.Fatalf("mix len = %d", len(m))
+	}
+	wantUsers := []ids.UID{1000, 2000, 1000, 2000, 1000}
+	for i, s := range m {
+		if s.Cred.UID != wantUsers[i] {
+			t.Errorf("mix[%d].UID = %d, want %d", i, s.Cred.UID, wantUsers[i])
+		}
+	}
+}
+
+func TestWithOOM(t *testing.T) {
+	subs := Sweep(metrics.NewRNG(1), SweepConfig{User: cred(1000), Jobs: 6, MinCores: 1, MaxCores: 1, MinDur: 1, MaxDur: 1, MemB: 1})
+	marked := WithOOM(subs, 3, 999)
+	// Original untouched.
+	for _, s := range subs {
+		if s.Spec.ActualMemB != 0 {
+			t.Fatalf("WithOOM mutated input")
+		}
+	}
+	count := 0
+	for _, s := range marked {
+		if s.Spec.ActualMemB == 999 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("marked %d jobs, want 2", count)
+	}
+}
+
+func TestSubmitAllAndDrain(t *testing.T) {
+	s := sched.New(sched.Config{Policy: sched.PolicyUserWholeNode}, nodes(4, 8), 0)
+	mix := Mix(
+		Sweep(metrics.NewRNG(1), SweepConfig{User: cred(1000), Jobs: 20, MinCores: 1, MaxCores: 4, MinDur: 1, MaxDur: 3, MemB: 1}),
+		Sweep(metrics.NewRNG(2), SweepConfig{User: cred(2000), Jobs: 20, MinCores: 1, MaxCores: 4, MinDur: 1, MaxDur: 3, MemB: 1}),
+	)
+	jids, err := SubmitAll(s, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jids) != 40 {
+		t.Fatalf("submitted %d", len(jids))
+	}
+	s.RunAll(5000)
+	for _, id := range jids {
+		j, err := s.Job(id)
+		if err != nil || j.State != sched.Completed {
+			t.Errorf("job %d: %v %v", id, j.State, err)
+		}
+	}
+	if s.MaxUsersPerNode() > 1 {
+		t.Errorf("user-wholenode violated")
+	}
+}
+
+func TestRunMPISameUserAllowedThroughUBF(t *testing.T) {
+	ns := nodes(3, 2)
+	s := sched.New(sched.Config{Policy: sched.PolicyUserWholeNode}, ns, 0)
+	net := netsim.NewNetwork()
+	d := ubf.New(ubf.Config{AllowGroupPeers: true})
+	for _, n := range ns {
+		d.InstallOn(net.AddHost(n.Name))
+	}
+	alice := cred(1000)
+	j, err := s.Submit(alice, sched.JobSpec{Name: "mpi", Command: "xhpl", Cores: 6, MemB: 1, Duration: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	job, _ := s.Job(j.ID)
+	if job.State != sched.Running || len(job.Nodes) != 3 {
+		t.Fatalf("job %v nodes %v", job.State, job.Nodes)
+	}
+	res, err := RunMPI(job, net, 11000, []byte("halo-exchange"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 3 || res.Connected != 2 || res.Dropped != 0 {
+		t.Errorf("mpi result = %+v", res)
+	}
+	if res.BytesMoved == 0 {
+		t.Errorf("no bytes moved")
+	}
+}
+
+func TestRunMPIErrors(t *testing.T) {
+	net := netsim.NewNetwork()
+	j := &sched.Job{ID: 1, Cred: cred(1000)}
+	if _, err := RunMPI(j, net, 11000, nil); err == nil {
+		t.Errorf("no-nodes job should error")
+	}
+	j.Nodes = []string{"ghost"}
+	if _, err := RunMPI(j, net, 11000, nil); err == nil {
+		t.Errorf("ghost host should error")
+	}
+}

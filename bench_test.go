@@ -34,8 +34,10 @@ func benchTopo() core.Topology {
 // BenchmarkE1ProcScan: a full `ps` pass (list + readable filter) over
 // a busy login node at each hidepid level.
 func BenchmarkE1ProcScan(b *testing.B) {
+	b.ReportAllocs()
 	for _, cfg := range []core.Config{core.Baseline(), core.Enhanced()} {
 		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			c := core.MustNew(cfg, benchTopo())
 			var obs ids.Credential
 			for i := 0; i < 8; i++ {
@@ -62,6 +64,7 @@ func BenchmarkE1ProcScan(b *testing.B) {
 // BenchmarkE2CVEProbe: the cost of a single cmdline read attempt —
 // the disclosure path hidepid closes.
 func BenchmarkE2CVEProbe(b *testing.B) {
+	b.ReportAllocs()
 	c := core.MustNew(core.Enhanced(), benchTopo())
 	victim, _ := c.AddUser("victim", "pw")
 	attacker, _ := c.AddUser("attacker", "pw")
@@ -75,8 +78,10 @@ func BenchmarkE2CVEProbe(b *testing.B) {
 
 // BenchmarkE3Squeue: squeue under PrivateData with a 200-job queue.
 func BenchmarkE3Squeue(b *testing.B) {
+	b.ReportAllocs()
 	for _, cfg := range []core.Config{core.Baseline(), core.Enhanced()} {
 		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			c := core.MustNew(cfg, benchTopo())
 			var obs ids.Credential
 			for u := 0; u < 4; u++ {
@@ -105,8 +110,10 @@ func BenchmarkE3Squeue(b *testing.B) {
 // ticks, utilization, blast radius) is the E4 table in
 // internal/experiments.
 func BenchmarkE4Policies(b *testing.B) {
+	b.ReportAllocs()
 	for _, pol := range []sched.SharingPolicy{sched.PolicyShared, sched.PolicyExclusive, sched.PolicyUserWholeNode} {
 		b.Run(pol.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				cfg := core.Enhanced()
@@ -132,6 +139,7 @@ func BenchmarkE4Policies(b *testing.B) {
 
 // BenchmarkE5SSHGate: pam_slurm login decision on a compute node.
 func BenchmarkE5SSHGate(b *testing.B) {
+	b.ReportAllocs()
 	c := core.MustNew(core.Enhanced(), benchTopo())
 	alice, _ := c.AddUser("alice", "pw")
 	if _, err := c.Sched.Submit(alice.Cred, sched.JobSpec{Name: "j", Command: "x", Cores: 2, MemB: 1, Duration: 1 << 30}); err != nil {
@@ -152,8 +160,10 @@ func BenchmarkE5SSHGate(b *testing.B) {
 // BenchmarkE6FSMatrix: create + chmod + cross-user read attempt under
 // smask, the per-file cost of the filesystem measures.
 func BenchmarkE6FSMatrix(b *testing.B) {
+	b.ReportAllocs()
 	for _, cfg := range []core.Config{core.Baseline(), core.Enhanced()} {
 		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			c := core.MustNew(cfg, benchTopo())
 			owner, _ := c.AddUser("owner", "pw")
 			stranger, _ := c.AddUser("stranger", "pw")
@@ -175,6 +185,7 @@ func BenchmarkE6FSMatrix(b *testing.B) {
 
 // BenchmarkE7UBFMatrix: one NEW-connection verdict, allowed vs denied.
 func BenchmarkE7UBFMatrix(b *testing.B) {
+	b.ReportAllocs()
 	c := core.MustNew(core.Enhanced(), benchTopo())
 	alice, _ := c.AddUser("alice", "pw")
 	bob, _ := c.AddUser("bob", "pw")
@@ -184,6 +195,7 @@ func BenchmarkE7UBFMatrix(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("same-user-accept", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			conn, err := h1.Dial(alice.Cred, netsim.TCP, c.Compute[0].Name, 9000)
 			if err != nil {
@@ -193,6 +205,7 @@ func BenchmarkE7UBFMatrix(b *testing.B) {
 		}
 	})
 	b.Run("cross-user-deny", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := h1.Dial(bob.Cred, netsim.TCP, c.Compute[0].Name, 9000); err == nil {
 				b.Fatal("cross-user dial succeeded")
@@ -205,6 +218,7 @@ func BenchmarkE7UBFMatrix(b *testing.B) {
 // without cache, and on with cache — plus the established-path data
 // rate that the paper's conntrack bypass keeps identical.
 func BenchmarkE8UBFOverhead(b *testing.B) {
+	b.ReportAllocs()
 	variants := []struct {
 		name    string
 		enabled bool
@@ -216,6 +230,7 @@ func BenchmarkE8UBFOverhead(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.Enhanced()
 			cfg.UBFEnabled = v.enabled
 			cfg.UBFCacheVerdicts = v.cache
@@ -242,6 +257,7 @@ func BenchmarkE8UBFOverhead(b *testing.B) {
 			name = "established-send-ubf"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.Enhanced()
 			cfg.UBFEnabled = enabled
 			c := core.MustNew(cfg, benchTopo())
@@ -275,6 +291,7 @@ func drainOne(c *netsim.Conn) ([]byte, bool) { return c.Recv() }
 // BenchmarkE9GPUResidue: the epilog clear itself — the cost the paper
 // pays per GPU job handover.
 func BenchmarkE9GPUResidue(b *testing.B) {
+	b.ReportAllocs()
 	c := core.MustNew(core.Enhanced(), benchTopo())
 	alice, _ := c.AddUser("alice", "pw")
 	b.ResetTimer()
@@ -294,6 +311,7 @@ func BenchmarkE9GPUResidue(b *testing.B) {
 // BenchmarkE10Residual: the residual abstract-socket path (no checks,
 // so this is the floor for local IPC).
 func BenchmarkE10Residual(b *testing.B) {
+	b.ReportAllocs()
 	c := core.MustNew(core.Enhanced(), benchTopo())
 	alice, _ := c.AddUser("alice", "pw")
 	bob, _ := c.AddUser("bob", "pw")
@@ -315,6 +333,7 @@ func BenchmarkE10Residual(b *testing.B) {
 // BenchmarkE11Portal: one authenticated forward through the portal,
 // including the UBF-checked upstream dial.
 func BenchmarkE11Portal(b *testing.B) {
+	b.ReportAllocs()
 	c := core.MustNew(core.Enhanced(), benchTopo())
 	owner, _ := c.AddUser("owner", "pw")
 	h, _ := c.Host(c.Compute[0].Name)
@@ -343,6 +362,7 @@ func BenchmarkE11Portal(b *testing.B) {
 // BenchmarkE12Container: a host-filesystem read from inside a
 // container (passthrough cost over the bare FS read).
 func BenchmarkE12Container(b *testing.B) {
+	b.ReportAllocs()
 	c := core.MustNew(core.Enhanced(), benchTopo())
 	user, _ := c.AddUser("user", "pw")
 	c.Containers.ImportImage("img", nil)
@@ -357,6 +377,7 @@ func BenchmarkE12Container(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("inside-container", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := ct.ReadFile(user.HomePath + "/data"); err != nil {
 				b.Fatal(err)
@@ -364,6 +385,7 @@ func BenchmarkE12Container(b *testing.B) {
 		}
 	})
 	b.Run("bare-host", func(b *testing.B) {
+		b.ReportAllocs()
 		ctx := vfs.Ctx(user.Cred)
 		for i := 0; i < b.N; i++ {
 			if _, err := c.SharedFS.ReadFile(ctx, user.HomePath+"/data"); err != nil {
@@ -376,6 +398,7 @@ func BenchmarkE12Container(b *testing.B) {
 // BenchmarkE13PPSComparison: decision cost of the PPS comparator vs
 // the UBF on the same flow.
 func BenchmarkE13PPSComparison(b *testing.B) {
+	b.ReportAllocs()
 	alice := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
 	mk := func(install func(h *netsim.Host)) (*netsim.Host, string) {
 		n := netsim.NewNetwork()
@@ -387,6 +410,7 @@ func BenchmarkE13PPSComparison(b *testing.B) {
 		return h1, "b"
 	}
 	b.Run("pps-range-rule", func(b *testing.B) {
+		b.ReportAllocs()
 		h1, dst := mk(func(h *netsim.Host) {
 			fw := ppsfw.New()
 			fw.Approve("user-ports", netsim.TCP, 1024, 65535)
@@ -401,6 +425,7 @@ func BenchmarkE13PPSComparison(b *testing.B) {
 		}
 	})
 	b.Run("ubf", func(b *testing.B) {
+		b.ReportAllocs()
 		h1, dst := mk(func(h *netsim.Host) {
 			d := ubf.New(ubf.Config{AllowGroupPeers: true, CacheVerdicts: true})
 			d.InstallOn(h)
@@ -418,9 +443,11 @@ func BenchmarkE13PPSComparison(b *testing.B) {
 // BenchmarkE14CryptoMPI: per-message data-path cost of Option 1
 // (AES-GCM seal+open) vs Option 2 (plain send through conntrack).
 func BenchmarkE14CryptoMPI(b *testing.B) {
+	b.ReportAllocs()
 	alice := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
 	payload := make([]byte, 4096)
 	b.Run("plain-ubf-datapath", func(b *testing.B) {
+		b.ReportAllocs()
 		n := netsim.NewNetwork()
 		h1, h2 := n.AddHost("a"), n.AddHost("b")
 		d := ubf.New(ubf.Config{AllowGroupPeers: true})
@@ -446,6 +473,7 @@ func BenchmarkE14CryptoMPI(b *testing.B) {
 		}
 	})
 	b.Run("encrypted-mpi-datapath", func(b *testing.B) {
+		b.ReportAllocs()
 		n := netsim.NewNetwork()
 		h1, h2 := n.AddHost("a"), n.AddHost("b")
 		l, err := h2.Listen(alice, netsim.TCP, 9000)
@@ -481,6 +509,7 @@ func BenchmarkE14CryptoMPI(b *testing.B) {
 // BenchmarkE15MitigationTax: cost-model evaluation (cheap; here for
 // completeness so every experiment has a bench target).
 func BenchmarkE15MitigationTax(b *testing.B) {
+	b.ReportAllocs()
 	on := mitig.DefaultMitigations()
 	profiles := mitig.Profiles()
 	b.ResetTimer()

@@ -1,24 +1,94 @@
 // Command benchharness regenerates every table of the paper's
-// evaluation (experiments E1..E12 in DESIGN.md). Run with no
-// arguments to print all tables, or -only E4 to print one.
+// evaluation (experiments E1..E15 in DESIGN.md) and records the
+// repo's performance trajectory as BENCH_*.json files.
+//
+// Table mode (default) prints the experiment tables:
 //
 //	go run ./cmd/benchharness
 //	go run ./cmd/benchharness -only E7
+//
+// Bench mode runs the E1..E15 Go benchmarks (bench_test.go) with
+// -benchmem, parses ns/op, B/op and allocs/op per experiment ×
+// configuration, and writes a JSON record. When a previous record is
+// given (or auto-discovered as the newest other BENCH_*.json in the
+// module root), each entry carries the previous numbers and deltas,
+// so every PR has a regression gate over the whole perf trajectory:
+//
+//	go run ./cmd/benchharness -bench -out BENCH_PR1.json
+//	go run ./cmd/benchharness -bench -out BENCH_PR2.json -prev BENCH_PR1.json -gate 25
+//
+// With -gate P the exit status is 1 if any benchmark's ns/op
+// regressed by more than P percent against the previous record.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
 
+// Bench is one parsed benchmark measurement. Experiment is the E-id
+// ("E1".."E15"); Config the sub-benchmark path (e.g. "enhanced",
+// "setup-ubf-cache"), empty for single-variant benchmarks.
+type Bench struct {
+	Name        string  `json:"name"` // full name minus "Benchmark" and -cpu suffix
+	Experiment  string  `json:"experiment"`
+	Config      string  `json:"config,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// Previous-record numbers and deltas, present when a prior
+	// BENCH_*.json was diffed in.
+	PrevNsPerOp     *float64 `json:"prev_ns_per_op,omitempty"`
+	PrevBytesPerOp  *int64   `json:"prev_bytes_per_op,omitempty"`
+	PrevAllocsPerOp *int64   `json:"prev_allocs_per_op,omitempty"`
+	NsDeltaPct      *float64 `json:"ns_delta_pct,omitempty"`
+	BytesDeltaPct   *float64 `json:"bytes_delta_pct,omitempty"`
+	AllocsDeltaPct  *float64 `json:"allocs_delta_pct,omitempty"`
+}
+
+// Record is the on-disk BENCH_*.json shape.
+type Record struct {
+	Label     string  `json:"label"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	CPU       string  `json:"cpu,omitempty"`
+	Benchtime string  `json:"benchtime"`
+	Previous  string  `json:"previous,omitempty"` // label of the diffed-in record
+	Benches   []Bench `json:"benchmarks"`
+}
+
 func main() {
-	only := flag.String("only", "", "run a single experiment, e.g. E4")
+	only := flag.String("only", "", "run a single experiment table, e.g. E4")
+	bench := flag.Bool("bench", false, "run the Go benchmarks and emit a JSON record instead of tables")
+	out := flag.String("out", "", "bench mode: output JSON path (e.g. BENCH_PR1.json)")
+	prev := flag.String("prev", "", "bench mode: previous BENCH_*.json to diff against; relative paths anchor to the module root (default: newest-mtime other BENCH_*.json there — unreliable in fresh clones, pin explicitly when several exist)")
+	label := flag.String("label", "", "bench mode: record label (default: output filename stem)")
+	pattern := flag.String("pattern", "^BenchmarkE[0-9]+", "bench mode: -bench regex passed to go test")
+	benchtime := flag.String("benchtime", "200ms", "bench mode: -benchtime passed to go test")
+	gate := flag.Float64("gate", 0, "bench mode: fail if any ns/op regresses more than this percent vs previous (0 = report only)")
 	flag.Parse()
+
+	if *bench {
+		if err := runBench(*out, *prev, *label, *pattern, *benchtime, *gate); err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := map[string]func() *metrics.Table{
 		"E1":  experiments.E1ProcessVisibility,
@@ -40,7 +110,7 @@ func main() {
 	if *only != "" {
 		f, ok := all[strings.ToUpper(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q (E1..E12)\n", *only)
+			fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q (E1..E15)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Println(f().Render())
@@ -48,5 +118,244 @@ func main() {
 	}
 	for _, t := range experiments.All() {
 		fmt.Println(t.Render())
+	}
+}
+
+// moduleRoot walks upward from the working directory to the directory
+// holding go.mod, so benchharness works from any subdirectory.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func runBench(out, prev, label, pattern, benchtime string, gate float64) error {
+	if out == "" {
+		return fmt.Errorf("-bench requires -out <BENCH_*.json>")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	// Anchor the output next to the trajectory: relative -out paths
+	// resolve against the module root (where previous records are
+	// discovered), not the process CWD.
+	if !filepath.IsAbs(out) {
+		out = filepath.Join(root, out)
+	}
+	if label == "" {
+		label = strings.TrimSuffix(filepath.Base(out), ".json")
+		label = strings.TrimPrefix(label, "BENCH_")
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchtime, ".")
+	cmd.Dir = root
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go test -bench: %v\n%s", err, raw)
+	}
+	rec := &Record{
+		Label: label, GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Benchtime: benchtime,
+	}
+	rec.CPU, rec.Benches = parseBenchOutput(string(raw))
+	if len(rec.Benches) == 0 {
+		return fmt.Errorf("no benchmark lines parsed from go test output:\n%s", raw)
+	}
+
+	prevRec, err := loadPrevious(root, prev, out)
+	if err != nil {
+		return err
+	}
+	var regressions []string
+	if prevRec != nil {
+		rec.Previous = prevRec.Label
+		regressions = diff(rec, prevRec, gate)
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	printSummary(rec)
+	if gate > 0 && len(regressions) > 0 {
+		return fmt.Errorf("regression gate (+%.0f%% ns/op): %s", gate, strings.Join(regressions, ", "))
+	}
+	return nil
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ \S+/s)?\s+(\d+) B/op\s+(\d+) allocs/op`)
+	cpuLine   = regexp.MustCompile(`^cpu: (.+)$`)
+	expPrefix = regexp.MustCompile(`^E\d+`)
+	cpuSuffix = regexp.MustCompile(`-\d+$`)
+)
+
+// parseBenchOutput extracts the cpu tag and every `-benchmem` result
+// line from `go test -bench` text output.
+func parseBenchOutput(s string) (cpu string, benches []Bench) {
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			cpu = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(strings.TrimPrefix(m[1], "Benchmark"), "")
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		bytesOp, _ := strconv.ParseInt(m[4], 10, 64)
+		allocs, _ := strconv.ParseInt(m[5], 10, 64)
+		b := Bench{
+			Name: name, Experiment: expPrefix.FindString(name),
+			Iterations: iters, NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocs,
+		}
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			b.Config = name[i+1:]
+		}
+		benches = append(benches, b)
+	}
+	return cpu, benches
+}
+
+// loadPrevious resolves the record to diff against: an explicit -prev
+// path (relative paths anchor to the module root, like -out), else
+// the newest BENCH_*.json in the module root other than the output
+// file, else nil (first record of the trajectory).
+func loadPrevious(root, prev, out string) (*Record, error) {
+	if prev != "" && !filepath.IsAbs(prev) {
+		prev = filepath.Join(root, prev)
+	}
+	if prev == "" {
+		matches, _ := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+		outAbs, _ := filepath.Abs(out)
+		var newest string
+		var newestMod int64
+		for _, m := range matches {
+			abs, _ := filepath.Abs(m)
+			if abs == outAbs {
+				continue
+			}
+			fi, err := os.Stat(m)
+			if err != nil {
+				continue
+			}
+			if t := fi.ModTime().UnixNano(); newest == "" || t > newestMod {
+				newest, newestMod = m, t
+			}
+		}
+		if newest == "" {
+			return nil, nil
+		}
+		// mtime picks the most recent record on the machine that ran
+		// the benchmarks; in a fresh clone mtimes collapse to checkout
+		// time, so name the choice and how to pin it.
+		fmt.Fprintf(os.Stderr, "benchharness: auto-discovered previous record %s (newest mtime; pass -prev to pin)\n", filepath.Base(newest))
+		prev = newest
+	}
+	data, err := os.ReadFile(prev)
+	if err != nil {
+		return nil, fmt.Errorf("previous record: %v", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("previous record %s: %v", prev, err)
+	}
+	return &rec, nil
+}
+
+// diff annotates rec's benches with prevRec's numbers and returns the
+// names whose ns/op regressed beyond the gate percentage.
+func diff(rec, prevRec *Record, gate float64) []string {
+	byName := make(map[string]*Bench, len(prevRec.Benches))
+	for i := range prevRec.Benches {
+		byName[prevRec.Benches[i].Name] = &prevRec.Benches[i]
+	}
+	var regressions []string
+	for i := range rec.Benches {
+		b := &rec.Benches[i]
+		p, ok := byName[b.Name]
+		if !ok {
+			continue
+		}
+		pn, pb, pa := p.NsPerOp, p.BytesPerOp, p.AllocsPerOp
+		b.PrevNsPerOp, b.PrevBytesPerOp, b.PrevAllocsPerOp = &pn, &pb, &pa
+		if pn > 0 {
+			d := (b.NsPerOp - pn) / pn * 100
+			b.NsDeltaPct = &d
+			if gate > 0 && d > gate {
+				regressions = append(regressions, fmt.Sprintf("%s +%.0f%%", b.Name, d))
+			}
+		}
+		switch {
+		case pa > 0:
+			d := (float64(b.AllocsPerOp) - float64(pa)) / float64(pa) * 100
+			b.AllocsDeltaPct = &d
+		case b.AllocsPerOp == 0:
+			// 0 → 0: flat, and the zero-alloc claim held.
+			zero := 0.0
+			b.AllocsDeltaPct = &zero
+		}
+		switch {
+		case pb > 0:
+			d := (float64(b.BytesPerOp) - float64(pb)) / float64(pb) * 100
+			b.BytesDeltaPct = &d
+		case b.BytesPerOp == 0:
+			zero := 0.0
+			b.BytesDeltaPct = &zero
+		}
+		// pa == 0 with allocs now nonzero has no finite percentage;
+		// AllocsDeltaPct stays nil and printSummary flags it as a
+		// 0→N regression so losing a zero-alloc path is never silent.
+	}
+	return regressions
+}
+
+// printSummary renders the record (and deltas, when present) as a
+// human-readable table on stdout.
+func printSummary(rec *Record) {
+	sorted := append([]Bench(nil), rec.Benches...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	fmt.Printf("benchharness: %s (%s/%s, benchtime=%s)\n", rec.Label, rec.GOOS, rec.GOARCH, rec.Benchtime)
+	if rec.Previous != "" {
+		fmt.Printf("diffed against: %s\n", rec.Previous)
+	}
+	for _, b := range sorted {
+		line := fmt.Sprintf("  %-40s %12.0f ns/op %10d B/op %8d allocs/op", b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+		if b.NsDeltaPct != nil {
+			line += fmt.Sprintf("   ns %+.1f%%", *b.NsDeltaPct)
+		}
+		switch {
+		case b.BytesDeltaPct != nil:
+			line += fmt.Sprintf(" B %+.1f%%", *b.BytesDeltaPct)
+		case b.PrevBytesPerOp != nil && *b.PrevBytesPerOp == 0 && b.BytesPerOp > 0:
+			line += fmt.Sprintf(" B 0->%d REGRESSED", b.BytesPerOp)
+		}
+		switch {
+		case b.AllocsDeltaPct != nil:
+			line += fmt.Sprintf(" allocs %+.1f%%", *b.AllocsDeltaPct)
+		case b.PrevAllocsPerOp != nil && *b.PrevAllocsPerOp == 0 && b.AllocsPerOp > 0:
+			line += fmt.Sprintf(" allocs 0->%d REGRESSED", b.AllocsPerOp)
+		}
+		fmt.Println(line)
 	}
 }

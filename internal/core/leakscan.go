@@ -114,8 +114,11 @@ func registerProbes(c *Cluster, s *audit.Scanner, victim, attacker *User) error 
 	s.Add(audit.Probe{
 		Channel: audit.ChanProcess, Name: "ps-foreign-visible",
 		Attempt: func() (bool, string) {
+			// Match by PID, not credential: under hidepid=1 List
+			// returns redacted stubs whose Cred is zeroed, but the
+			// foreign pid appearing in readdir is itself the leak.
 			for _, p := range procView.List(attacker.Cred) {
-				if p.Cred.UID == victim.UID {
+				if p.PID == vp.PID {
 					return true, fmt.Sprintf("victim pid %d listed", p.PID)
 				}
 			}

@@ -13,6 +13,29 @@
 //
 // A process whose observer carries the exempt gid (the gid= mount
 // flag) bypasses the restriction entirely.
+//
+// # Redaction contract (hidepid=1)
+//
+// Stat on a visible-but-unreadable pid returns a redacted stub
+// modelling stat(2) on a /proc/<pid> directory whose contents are
+// protected. This simulation's contract deliberately keeps three
+// fields: the PID, the executable name (Comm) and the run State —
+// Comm is a modelling choice, slightly more generous than Linux,
+// where comm sits inside the protected directory; it stands in for
+// the coarse existence/owner metadata a dir stat discloses. The
+// sensitive fields are always zeroed: Cmdline, the owning
+// Credential, RSS and the scheduler JobID. No field of the stub may
+// carry the secret-bearing data (argv, identity, accounting) that
+// hidepid exists to protect.
+//
+// The same contract governs List: visible-but-unreadable entries
+// appear as the redacted stub, never as full clones.
+//
+// List, Readable and Stat filter on the process table's shared
+// snapshot (simos.Table.Visit) and clone only the entries the
+// observer is actually allowed to read — under hidepid=2 a foreign
+// observer's `ps` pass allocates nothing at all, and denied
+// Stat/ReadCmdline probes are allocation-free.
 package procfs
 
 import (
@@ -65,44 +88,61 @@ func (m *Mount) exempt(observer ids.Credential) bool {
 }
 
 // visible reports whether observer may see that the pid exists in a
-// directory listing of /proc.
-func (m *Mount) visible(observer ids.Credential, p *simos.Process) bool {
-	if m.exempt(observer) || p.Cred.UID == observer.UID {
+// directory listing of /proc. exempt is the precomputed result of
+// m.exempt(observer), hoisted out of per-process loops.
+func (m *Mount) visible(exempt bool, observer ids.Credential, p *simos.Process) bool {
+	if exempt || p.Cred.UID == observer.UID {
 		return true
 	}
 	return m.HidePID < HidePIDInvis
 }
 
 // readable reports whether observer may read the contents of
-// /proc/<pid>/ (cmdline, status, ...).
-func (m *Mount) readable(observer ids.Credential, p *simos.Process) bool {
-	if m.exempt(observer) || p.Cred.UID == observer.UID {
+// /proc/<pid>/ (cmdline, status, ...). exempt as in visible.
+func (m *Mount) readable(exempt bool, observer ids.Credential, p *simos.Process) bool {
+	if exempt || p.Cred.UID == observer.UID {
 		return true
 	}
 	return m.HidePID == HidePIDOff
 }
 
 // List returns the processes whose /proc/<pid> directories appear to
-// the observer, sorted by PID — the readdir view `ps` uses.
+// the observer, sorted by PID — the readdir view `ps` uses. The
+// exempt-gid check runs once per call, the filter runs on the shared
+// table snapshot, and only visible entries are cloned: a foreign
+// observer under hidepid=2 allocates nothing.
 func (m *Mount) List(observer ids.Credential) []*simos.Process {
+	exempt := m.exempt(observer)
 	var out []*simos.Process
-	for _, p := range m.table.All() {
-		if m.visible(observer, p) {
-			out = append(out, p)
+	m.table.Visit(func(p *simos.Process) bool {
+		switch {
+		case !m.visible(exempt, observer, p):
+		case m.readable(exempt, observer, p):
+			out = append(out, p.Clone())
+		default:
+			// Visible but unreadable (hidepid=1, foreign pid): the
+			// directory appears in readdir but its contents are
+			// protected, so the entry is the same redacted stub Stat
+			// returns — never the secret-bearing full clone.
+			out = append(out, &simos.Process{PID: p.PID, Comm: p.Comm, State: p.State})
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // Readable returns the processes the observer can fully inspect —
 // what a `ps auxww` that reads each cmdline would actually print.
+// Filtering happens before cloning, exactly as in List.
 func (m *Mount) Readable(observer ids.Credential) []*simos.Process {
+	exempt := m.exempt(observer)
 	var out []*simos.Process
-	for _, p := range m.table.All() {
-		if m.readable(observer, p) {
-			out = append(out, p)
+	m.table.Visit(func(p *simos.Process) bool {
+		if m.readable(exempt, observer, p) {
+			out = append(out, p.Clone())
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -110,32 +150,39 @@ func (m *Mount) Readable(observer ids.Credential) []*simos.Process {
 // return ErrNotFound; under hidepid=1 they exist but detailed reads
 // fail (see ReadCmdline).
 func (m *Mount) Stat(observer ids.Credential, pid ids.PID) (*simos.Process, error) {
-	p, err := m.table.Get(pid)
-	if err != nil {
+	// Check permissions on the shared immutable entry; clone only on
+	// the allowed full-read path, so a denied probe allocates nothing.
+	p, ok := m.table.Lookup(pid)
+	if !ok {
 		return nil, ErrNotFound
 	}
-	if !m.visible(observer, p) {
+	exempt := m.exempt(observer)
+	if !m.visible(exempt, observer, p) {
 		return nil, ErrNotFound
 	}
-	if !m.readable(observer, p) {
-		// Exists but contents are protected: return a redacted stub,
-		// matching hidepid=1 where the dir is visible but unreadable.
-		return &simos.Process{PID: p.PID, State: p.State}, nil
+	if !m.readable(exempt, observer, p) {
+		// Exists but contents are protected: return a redacted stub
+		// per the package redaction contract — PID, Comm and State
+		// only; no credential, cmdline, or accounting fields.
+		return &simos.Process{PID: p.PID, Comm: p.Comm, State: p.State}, nil
 	}
-	return p, nil
+	return p.Clone(), nil
 }
 
 // ReadCmdline models reading /proc/<pid>/cmdline — the exact leak
 // path of CVE-2020-27746-style disclosures.
 func (m *Mount) ReadCmdline(observer ids.Credential, pid ids.PID) (string, error) {
-	p, err := m.table.Get(pid)
-	if err != nil {
+	// Shared-entry lookup: the denial paths (the attack probes of E2)
+	// never copy the secret-bearing cmdline they refuse to reveal.
+	p, ok := m.table.Lookup(pid)
+	if !ok {
 		return "", ErrNotFound
 	}
-	if !m.visible(observer, p) {
+	exempt := m.exempt(observer)
+	if !m.visible(exempt, observer, p) {
 		return "", ErrNotFound
 	}
-	if !m.readable(observer, p) {
+	if !m.readable(exempt, observer, p) {
 		return "", ErrHidden
 	}
 	return strings.Join(p.Cmdline, " "), nil

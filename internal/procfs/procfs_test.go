@@ -67,6 +67,19 @@ func TestHidepid1DirsVisibleContentsHidden(t *testing.T) {
 	if len(p.Cmdline) != 0 || p.Cred.UID != 0 {
 		t.Errorf("hidepid=1 stat leaked details: %+v", p)
 	}
+	if p.Comm == "" {
+		t.Errorf("hidepid=1 stat stub dropped Comm")
+	}
+	// List obeys the same redaction contract: foreign entries appear
+	// (the dirs are listed) but carry no cmdline or credential.
+	for _, lp := range m.List(alice) {
+		if lp.Cred.UID == 1000 {
+			continue // own entries are full
+		}
+		if len(lp.Cmdline) != 0 || lp.Cred.UID != 0 {
+			t.Errorf("hidepid=1 List leaked details of pid %d: %+v", lp.PID, lp)
+		}
+	}
 }
 
 func TestHidepid2ForeignInvisible(t *testing.T) {

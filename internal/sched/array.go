@@ -26,16 +26,11 @@ func (s *Scheduler) SetUserLimit(limit int) {
 	s.userLimit = limit
 }
 
-// activeJobsLocked counts pending+running jobs of uid. Caller holds
-// s.mu.
+// activeJobsLocked counts pending+running jobs of uid from the
+// incrementally maintained per-user counter — O(1), so submitting a
+// 10k-task array stays linear in the array size. Caller holds s.mu.
 func (s *Scheduler) activeJobsLocked(uid ids.UID) int {
-	n := 0
-	for _, j := range s.jobs {
-		if j.User == uid && (j.State == Pending || j.State == Running) {
-			n++
-		}
-	}
-	return n
+	return s.activeByUser[uid]
 }
 
 // checkUserLimitLocked validates a submission of extra jobs against

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/simos"
+)
+
+func indexCluster(t *testing.T) *Scheduler {
+	t.Helper()
+	nodes := []*simos.Node{
+		simos.NewNode("c1", simos.Compute, 8, 1<<30, nil),
+		simos.NewNode("c2", simos.Compute, 8, 1<<30, nil),
+	}
+	return New(Config{}, nodes, 0)
+}
+
+func idxCred(uid ids.UID) ids.Credential {
+	return ids.Credential{UID: uid, EGID: ids.GID(uid), Groups: []ids.GID{ids.GID(uid)}}
+}
+
+// TestRunningIndexConsistency drives a mixed submit/cancel/run
+// lifecycle and checks the pending-queue and running indexes always
+// agree with the authoritative job states.
+func TestRunningIndexConsistency(t *testing.T) {
+	s := indexCluster(t)
+	alice, bob := idxCred(1000), idxCred(2000)
+
+	check := func(when string) {
+		t.Helper()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.queue.Len() != len(s.queueElem) {
+			t.Fatalf("%s: queue len %d != index %d", when, s.queue.Len(), len(s.queueElem))
+		}
+		for e := s.queue.Front(); e != nil; e = e.Next() {
+			j := e.Value.(*Job)
+			if j.State != Pending {
+				t.Fatalf("%s: job %d in queue with state %v", when, j.ID, j.State)
+			}
+		}
+		for i, j := range s.runningSorted {
+			if j.State != Running {
+				t.Fatalf("%s: job %d in running index with state %v", when, j.ID, j.State)
+			}
+			if i > 0 && s.runningSorted[i-1].ID >= j.ID {
+				t.Fatalf("%s: running index not ID-sorted", when)
+			}
+		}
+		nRunning := 0
+		active := make(map[ids.UID]int)
+		for _, j := range s.jobs {
+			if j.State == Running {
+				nRunning++
+			}
+			if j.State == Pending || j.State == Running {
+				active[j.User]++
+			}
+		}
+		if nRunning != len(s.runningSorted) {
+			t.Fatalf("%s: %d Running jobs but index holds %d", when, nRunning, len(s.runningSorted))
+		}
+		if len(active) != len(s.activeByUser) {
+			t.Fatalf("%s: active users %d != counter map %d", when, len(active), len(s.activeByUser))
+		}
+		for uid, n := range active {
+			if s.activeByUser[uid] != n {
+				t.Fatalf("%s: uid %d active %d, counter says %d", when, uid, n, s.activeByUser[uid])
+			}
+		}
+	}
+
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		cred := alice
+		if i%2 == 1 {
+			cred = bob
+		}
+		j, err := s.Submit(cred, JobSpec{Name: "j", Command: "x", Cores: 4, MemB: 1, Duration: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	check("after submits")
+
+	// Cancel a pending job from the middle of the queue: O(1) unlink
+	// must leave the rest intact.
+	if err := s.Cancel(bob, jobs[3].ID); err != nil {
+		t.Fatal(err)
+	}
+	check("after pending cancel")
+
+	s.Step()
+	check("after first step")
+	if err := s.Cancel(alice, jobs[0].ID); err != nil { // running cancel
+		t.Fatal(err)
+	}
+	check("after running cancel")
+
+	s.RunAll(100)
+	check("after drain")
+	if s.PendingCount() != 0 {
+		t.Errorf("queue not drained: %d", s.PendingCount())
+	}
+	s.mu.Lock()
+	if len(s.runningSorted) != 0 {
+		t.Errorf("running index not empty after drain: %d", len(s.runningSorted))
+	}
+	s.mu.Unlock()
+}
+
+// TestSqueueMatchesJobStates: the index-backed Squeue must return
+// exactly the pending+running jobs, ID-sorted, as the scan did.
+func TestSqueueMatchesJobStates(t *testing.T) {
+	s := indexCluster(t)
+	alice := idxCred(1000)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Submit(alice, JobSpec{Name: "j", Command: "x", Cores: 8, MemB: 1, Duration: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Step() // two start (2×8 cores), three stay pending
+	got := s.Squeue(alice)
+	if len(got) != 5 {
+		t.Fatalf("Squeue len = %d, want 5", len(got))
+	}
+	for i, j := range got {
+		if i > 0 && got[i-1].ID >= j.ID {
+			t.Errorf("Squeue not ID-sorted")
+		}
+		if j.State != Pending && j.State != Running {
+			t.Errorf("Squeue returned job %d in state %v", j.ID, j.State)
+		}
+	}
+	s.RunAll(100)
+	if n := len(s.Squeue(alice)); n != 0 {
+		t.Errorf("Squeue after drain = %d, want 0", n)
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,6 +53,12 @@ func (ns *nodeState) soleUser(u ids.UID) bool {
 }
 
 // Scheduler is the cluster batch scheduler.
+//
+// The hot per-tick state is indexed rather than scanned: pending jobs
+// live in a linked list with a jobID→element map (O(1) dequeue, no
+// per-tick queue copies), and running jobs are tracked in an
+// incrementally maintained ID-sorted slice, so Step never walks the
+// full historical s.jobs map.
 type Scheduler struct {
 	Cfg Config
 
@@ -61,13 +68,31 @@ type Scheduler struct {
 	nodes      []*nodeState
 	byName     map[string]*nodeState
 	partitions map[string]*Partition
-	userLimit  int    // max active jobs per user; 0 = unlimited
-	nextArray  int    // next array id (starts at 1)
-	queue      []*Job // pending, submit order
-	jobs       map[int]*Job
-	records    []AccountingRecord
-	prologs    []Hook
-	epilogs    []Hook
+	userLimit  int        // max active jobs per user; 0 = unlimited
+	nextArray  int        // next array id (starts at 1)
+	queue      *list.List // pending *Job, submit order
+	queueElem  map[int]*list.Element
+	jobs       map[int]*Job // every job ever submitted, by ID
+	// runningSorted indexes jobs in state Running, kept ID-sorted
+	// incrementally (inserted on start, removed on finish) so the
+	// per-tick completion pass never re-sorts. It is the single
+	// authority on the running set — len() is the count, range is
+	// the deterministic iteration order. (Squeue still sorts its
+	// small merged pending+running result: backfill interleaves the
+	// two ID sequences.)
+	runningSorted []*Job
+	// activeByUser counts each user's pending+running jobs (the QoS
+	// denominator), maintained on enqueue / cancel / finish so the
+	// per-submit limit check is O(1).
+	activeByUser map[ids.UID]int
+	records      []AccountingRecord
+	prologs      []Hook
+	epilogs      []Hook
+	// computeCores/maxNodeGPUs are fixed at New: total compute cores
+	// (the per-tick totalCoreTicks increment and the Submit
+	// satisfiability bound) and the largest per-node GPU count.
+	computeCores int64
+	maxNodeGPUs  int
 	// busyCoreTicks accumulates cores in use each tick, for the
 	// utilization metric of experiment E4.
 	busyCoreTicks  int64
@@ -90,11 +115,14 @@ var (
 // many GPU slots each compute node exposes (0 for CPU-only clusters).
 func New(cfg Config, nodes []*simos.Node, gpusPerNode int) *Scheduler {
 	s := &Scheduler{
-		Cfg:       cfg,
-		nextID:    1,
-		nextArray: 1,
-		byName:    make(map[string]*nodeState),
-		jobs:      make(map[int]*Job),
+		Cfg:          cfg,
+		nextID:       1,
+		nextArray:    1,
+		byName:       make(map[string]*nodeState),
+		queue:        list.New(),
+		queueElem:    make(map[int]*list.Element),
+		jobs:         make(map[int]*Job),
+		activeByUser: make(map[ids.UID]int),
 	}
 	for _, n := range nodes {
 		st := &nodeState{
@@ -105,6 +133,12 @@ func New(cfg Config, nodes []*simos.Node, gpusPerNode int) *Scheduler {
 		}
 		s.nodes = append(s.nodes, st)
 		s.byName[n.Name] = st
+		if n.Kind == simos.Compute {
+			s.computeCores += int64(n.Cores)
+			if st.totalGPUs > s.maxNodeGPUs {
+				s.maxNodeGPUs = st.totalGPUs
+			}
+		}
 		if cfg.PamSlurm && n.Kind == simos.Compute {
 			n.AddPAMHook(s.pamSlurmHook())
 		}
@@ -161,22 +195,12 @@ func (s *Scheduler) Submit(cred ids.Credential, spec JobSpec) (*Job, error) {
 	if err := s.checkUserLimitLocked(cred.UID, 1); err != nil {
 		return nil, err
 	}
-	var maxCores, maxGPUs int
-	for _, ns := range s.nodes {
-		if ns.node.Kind != simos.Compute {
-			continue
-		}
-		maxCores += ns.node.Cores
-		if ns.totalGPUs > maxGPUs {
-			maxGPUs = ns.totalGPUs
-		}
-	}
-	if spec.Cores > maxCores {
-		return nil, fmt.Errorf("%w: %d cores > cluster %d", ErrUnsatisfiable, spec.Cores, maxCores)
+	if int64(spec.Cores) > s.computeCores {
+		return nil, fmt.Errorf("%w: %d cores > cluster %d", ErrUnsatisfiable, spec.Cores, s.computeCores)
 	}
 	// The GPU request is per node, so it must fit a single node.
-	if spec.GPUs > maxGPUs {
-		return nil, fmt.Errorf("%w: %d gpus/node > node max %d", ErrUnsatisfiable, spec.GPUs, maxGPUs)
+	if spec.GPUs > s.maxNodeGPUs {
+		return nil, fmt.Errorf("%w: %d gpus/node > node max %d", ErrUnsatisfiable, spec.GPUs, s.maxNodeGPUs)
 	}
 	j := &Job{
 		ID:     s.nextID,
@@ -189,7 +213,8 @@ func (s *Scheduler) Submit(cred ids.Credential, spec JobSpec) (*Job, error) {
 	}
 	s.nextID++
 	s.jobs[j.ID] = j
-	s.queue = append(s.queue, j)
+	s.queueElem[j.ID] = s.queue.PushBack(j)
+	s.activeByUser[j.User]++
 	return j.Clone(), nil
 }
 
@@ -211,6 +236,7 @@ func (s *Scheduler) Cancel(actor ids.Credential, jobID int) error {
 		j.State = Cancelled
 		j.End = s.now
 		s.dequeue(j)
+		s.decActiveLocked(j.User)
 		s.account(j)
 	case Running:
 		s.finish(j, Cancelled)
@@ -218,12 +244,41 @@ func (s *Scheduler) Cancel(actor ids.Credential, jobID int) error {
 	return nil
 }
 
+// decActiveLocked drops one from a user's pending+running count,
+// deleting the entry at zero so the map tracks only active users.
+// Caller holds s.mu.
+func (s *Scheduler) decActiveLocked(uid ids.UID) {
+	if n := s.activeByUser[uid] - 1; n > 0 {
+		s.activeByUser[uid] = n
+	} else {
+		delete(s.activeByUser, uid)
+	}
+}
+
+// dequeue removes a job from the pending queue in O(1) via the
+// jobID→element index. Caller holds s.mu.
 func (s *Scheduler) dequeue(j *Job) {
-	for i, q := range s.queue {
-		if q.ID == j.ID {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			return
-		}
+	if e, ok := s.queueElem[j.ID]; ok {
+		s.queue.Remove(e)
+		delete(s.queueElem, j.ID)
+	}
+}
+
+// startRunningLocked indexes a job that just entered state Running.
+// Caller holds s.mu.
+func (s *Scheduler) startRunningLocked(j *Job) {
+	i := sort.Search(len(s.runningSorted), func(k int) bool { return s.runningSorted[k].ID >= j.ID })
+	s.runningSorted = append(s.runningSorted, nil)
+	copy(s.runningSorted[i+1:], s.runningSorted[i:])
+	s.runningSorted[i] = j
+}
+
+// stopRunningLocked drops a job that just left state Running. Caller
+// holds s.mu.
+func (s *Scheduler) stopRunningLocked(j *Job) {
+	i := sort.Search(len(s.runningSorted), func(k int) bool { return s.runningSorted[k].ID >= j.ID })
+	if i < len(s.runningSorted) && s.runningSorted[i].ID == j.ID {
+		s.runningSorted = append(s.runningSorted[:i], s.runningSorted[i+1:]...)
 	}
 }
 
@@ -237,23 +292,22 @@ func (s *Scheduler) Step() int {
 	// Account utilization before finishing, i.e. usage during this
 	// tick. Busy counts the cores jobs *requested*, not the cores a
 	// placement occupies — exclusive allocations waste the node
-	// remainder and that waste must show up as idle.
-	for _, ns := range s.nodes {
-		if ns.node.Kind != simos.Compute {
-			continue
-		}
-		s.totalCoreTicks += int64(ns.node.Cores)
+	// remainder and that waste must show up as idle. Both sides come
+	// from indexes: the fixed compute-core total and the running set.
+	s.totalCoreTicks += s.computeCores
+	for _, j := range s.runningSorted {
+		s.busyCoreTicks += int64(j.Spec.Cores)
 	}
-	for _, j := range s.jobs {
-		if j.State == Running {
-			s.busyCoreTicks += int64(j.Spec.Cores)
-		}
-	}
-	// 1. Completions.
-	for _, j := range s.runningJobs() {
+	// 1. Completions. Collect due jobs first (in ID order, for
+	// determinism) because finish mutates the running index.
+	var due []*Job
+	for _, j := range s.runningSorted {
 		if s.now-j.Start >= j.Spec.Duration {
-			s.finish(j, Completed)
+			due = append(due, j)
 		}
+	}
+	for _, j := range due {
+		s.finish(j, Completed)
 	}
 	// 2a. Externally crashed nodes (hardware failure injected by a
 	// test or operator): every job on them fails.
@@ -286,26 +340,18 @@ func (s *Scheduler) Step() int {
 		}
 	}
 	// 3. Scheduling pass (first-fit over submit order = FIFO with
-	// backfill holes).
+	// backfill holes). Iterating the linked list with a next-capture
+	// lets tryStart unlink the current element in place — no per-tick
+	// copy of the queue.
 	started := 0
-	for _, j := range append([]*Job(nil), s.queue...) {
-		if s.tryStart(j) {
+	for e := s.queue.Front(); e != nil; {
+		next := e.Next()
+		if s.tryStart(e.Value.(*Job)) {
 			started++
 		}
+		e = next
 	}
 	return started
-}
-
-// runningJobs returns running jobs sorted by ID for determinism.
-func (s *Scheduler) runningJobs() []*Job {
-	var out []*Job
-	for _, j := range s.jobs {
-		if j.State == Running {
-			out = append(out, j)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
 }
 
 // crashNode fails every job on the node and marks the crash. Jobs of
@@ -347,6 +393,8 @@ func (s *Scheduler) finish(j *Job, state JobState) {
 	}
 	j.State = state
 	j.End = s.now
+	s.stopRunningLocked(j)
+	s.decActiveLocked(j.User)
 	for nodeName, cores := range j.Tasks {
 		ns := s.byName[nodeName]
 		ns.usedCores -= cores
@@ -410,6 +458,7 @@ func (s *Scheduler) tryStart(j *Job) bool {
 	}
 	sort.Strings(j.Nodes)
 	s.dequeue(j)
+	s.startRunningLocked(j)
 	return true
 }
 
@@ -446,7 +495,7 @@ func (s *Scheduler) Crashes() (int, int) {
 func (s *Scheduler) PendingCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.queue.Len()
 }
 
 // Job returns the job by ID as the *scheduler* sees it (no privacy
@@ -467,13 +516,7 @@ func (s *Scheduler) RunAll(maxTicks int) int {
 	for t := 0; t < maxTicks; t++ {
 		s.Step()
 		s.mu.Lock()
-		idle := len(s.queue) == 0
-		for _, j := range s.jobs {
-			if j.State == Running {
-				idle = false
-				break
-			}
-		}
+		idle := s.queue.Len() == 0 && len(s.runningSorted) == 0
 		s.mu.Unlock()
 		if idle {
 			return t + 1

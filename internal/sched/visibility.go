@@ -29,13 +29,17 @@ func (s *Scheduler) privileged(observer ids.Credential) bool {
 func (s *Scheduler) Squeue(observer ids.Credential) []*Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []*Job
-	for _, j := range s.jobs {
-		if j.State != Pending && j.State != Running {
-			continue
+	// Live jobs come from the pending queue and the running index —
+	// never from the full historical jobs map.
+	priv := !s.Cfg.PrivateData || s.privileged(observer)
+	out := make([]*Job, 0, s.queue.Len()+len(s.runningSorted))
+	for e := s.queue.Front(); e != nil; e = e.Next() {
+		if j := e.Value.(*Job); priv || j.User == observer.UID {
+			out = append(out, j.Clone())
 		}
-		switch {
-		case !s.Cfg.PrivateData || s.privileged(observer) || j.User == observer.UID:
+	}
+	for _, j := range s.runningSorted {
+		if priv || j.User == observer.UID {
 			out = append(out, j.Clone())
 		}
 	}

@@ -20,7 +20,10 @@ import (
 // ProcState is the lifecycle state of a simulated process.
 type ProcState int
 
-// Process states.
+// Process states. StateDead exists for rendering and external
+// bookkeeping only: the table deletes dead processes outright
+// (presence in the table means live), so no published entry ever
+// carries it.
 const (
 	StateRunning ProcState = iota
 	StateSleeping
@@ -67,11 +70,23 @@ func (p *Process) Clone() *Process {
 
 // Table is a node's process table. All methods are safe for
 // concurrent use.
+//
+// Entries stored in the table are immutable once published: mutating
+// operations (SetJob, SetRSS) replace the entry with a fresh copy
+// rather than writing through the shared pointer. That lets the table
+// publish one generation-counted, copy-on-write snapshot — a cached
+// sorted []*Process — that every reader of All/Visit shares with zero
+// per-call cloning. Values returned by All and Visit are therefore
+// shared and MUST be treated as read-only; use Clone (or Get, which
+// clones) before modifying one.
 type Table struct {
 	mu      sync.RWMutex
 	nextPID ids.PID
 	procs   map[ids.PID]*Process
 	clock   func() int64
+	gen     uint64     // bumped on every mutation
+	snap    []*Process // cached PID-sorted snapshot, shared with readers
+	snapGen uint64     // generation snap was built at; valid iff == gen
 }
 
 // Process-table errors.
@@ -89,6 +104,51 @@ func NewTable(clock func() int64) *Table {
 	return &Table{nextPID: 1, procs: make(map[ids.PID]*Process), clock: clock}
 }
 
+// dirtyLocked marks the published snapshot stale. Caller holds t.mu
+// for writing.
+func (t *Table) dirtyLocked() { t.gen++ }
+
+// Generation returns the table's mutation counter. Two equal
+// Generation readings bracket a window in which no mutation happened
+// and every snapshot handed out was identical.
+func (t *Table) Generation() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gen
+}
+
+// snapshot returns the shared PID-sorted slice of live processes,
+// rebuilding it only when a mutation invalidated the cached one. The
+// returned slice and its entries are immutable.
+func (t *Table) snapshot() []*Process {
+	t.mu.RLock()
+	if t.snap != nil && t.snapGen == t.gen {
+		s := t.snap
+		t.mu.RUnlock()
+		return s
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rebuildLocked()
+}
+
+// rebuildLocked (re)builds the snapshot cache if stale. Caller holds
+// t.mu for writing.
+func (t *Table) rebuildLocked() []*Process {
+	if t.snap != nil && t.snapGen == t.gen {
+		return t.snap
+	}
+	out := make([]*Process, 0, len(t.procs))
+	for _, p := range t.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	t.snap = out
+	t.snapGen = t.gen
+	return out
+}
+
 // Spawn creates a process owned by cred. ppid 0 means "init".
 func (t *Table) Spawn(cred ids.Credential, ppid ids.PID, comm string, argv ...string) *Process {
 	t.mu.Lock()
@@ -104,6 +164,7 @@ func (t *Table) Spawn(cred ids.Credential, ppid ids.PID, comm string, argv ...st
 	}
 	t.nextPID++
 	t.procs[p.PID] = p
+	t.dirtyLocked()
 	return p.Clone()
 }
 
@@ -125,6 +186,7 @@ func (t *Table) SpawnDaemon(comm string, argv ...string) *Process {
 	}
 	t.nextPID++
 	t.procs[p.PID] = p
+	t.dirtyLocked()
 	return p.Clone()
 }
 
@@ -133,23 +195,36 @@ func (t *Table) SpawnDaemon(comm string, argv ...string) *Process {
 func (t *Table) Get(pid ids.PID) (*Process, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	// Dead processes are removed from the map outright (Exit/Kill*),
+	// so presence alone means live.
 	p, ok := t.procs[pid]
-	if !ok || p.State == StateDead {
+	if !ok {
 		return nil, fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
 	}
 	return p.Clone(), nil
 }
 
-// Exit marks a process dead and removes it from the table.
+// Lookup returns the shared immutable entry for pid, or false if no
+// such live process exists. The result is read-only (see the Table
+// contract); use Get for a private deep copy. Lookup exists so
+// permission checks can run before any clone is paid for.
+func (t *Table) Lookup(pid ids.PID) (*Process, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p, ok := t.procs[pid]
+	return p, ok
+}
+
+// Exit removes a process from the table. Snapshots published before
+// the exit keep showing the process (immutably) until refreshed.
 func (t *Table) Exit(pid ids.PID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	p, ok := t.procs[pid]
-	if !ok {
+	if _, ok := t.procs[pid]; !ok {
 		return fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
 	}
-	p.State = StateDead
 	delete(t.procs, pid)
+	t.dirtyLocked()
 	return nil
 }
 
@@ -165,8 +240,8 @@ func (t *Table) Kill(actor ids.Credential, pid ids.PID) error {
 	if !actor.IsRoot() && actor.UID != p.Cred.UID {
 		return fmt.Errorf("%w: uid %d cannot kill pid %d (uid %d)", ErrPermission, actor.UID, pid, p.Cred.UID)
 	}
-	p.State = StateDead
 	delete(t.procs, pid)
+	t.dirtyLocked()
 	return nil
 }
 
@@ -179,10 +254,12 @@ func (t *Table) KillJob(jobID int) int {
 	n := 0
 	for pid, p := range t.procs {
 		if p.JobID == jobID && jobID != 0 {
-			p.State = StateDead
 			delete(t.procs, pid)
 			n++
 		}
+	}
+	if n > 0 {
+		t.dirtyLocked()
 	}
 	return n
 }
@@ -195,42 +272,51 @@ func (t *Table) KillUser(uid ids.UID) int {
 	n := 0
 	for pid, p := range t.procs {
 		if p.Cred.UID == uid && !p.Daemon {
-			p.State = StateDead
 			delete(t.procs, pid)
 			n++
 		}
 	}
+	if n > 0 {
+		t.dirtyLocked()
+	}
 	return n
 }
 
-// All returns copies of every live process sorted by PID — the
-// unfiltered kernel view (what root sees).
+// All returns every live process sorted by PID — the unfiltered
+// kernel view (what root sees). The slice is the table's shared
+// snapshot: entries are immutable and must be treated as read-only
+// (Clone one before modifying it).
 func (t *Table) All() []*Process {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]*Process, 0, len(t.procs))
-	for _, p := range t.procs {
-		out = append(out, p.Clone())
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
-	return out
+	return t.snapshot()
 }
 
-// ByUser returns live processes owned by uid, sorted by PID.
-func (t *Table) ByUser(uid ids.UID) []*Process {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var out []*Process
-	for _, p := range t.procs {
-		if p.Cred.UID == uid {
-			out = append(out, p.Clone())
+// Visit calls f on every live process in PID order, stopping early if
+// f returns false. It iterates the shared snapshot, so it allocates
+// nothing and holds no lock while f runs — f may call back into the
+// table. The *Process passed to f is shared and read-only.
+func (t *Table) Visit(f func(p *Process) bool) {
+	for _, p := range t.snapshot() {
+		if !f(p) {
+			return
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+}
+
+// ByUser returns live processes owned by uid, sorted by PID. Like
+// All, the entries are shared immutable snapshot entries.
+func (t *Table) ByUser(uid ids.UID) []*Process {
+	var out []*Process
+	for _, p := range t.snapshot() {
+		if p.Cred.UID == uid {
+			out = append(out, p)
+		}
+	}
 	return out
 }
 
-// SetJob associates a process with a scheduler job id.
+// SetJob associates a process with a scheduler job id. The published
+// entry is replaced copy-on-write; snapshots taken earlier keep the
+// old association.
 func (t *Table) SetJob(pid ids.PID, jobID int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -238,11 +324,15 @@ func (t *Table) SetJob(pid ids.PID, jobID int) error {
 	if !ok {
 		return fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
 	}
-	p.JobID = jobID
+	np := *p
+	np.JobID = jobID
+	t.procs[pid] = &np
+	t.dirtyLocked()
 	return nil
 }
 
-// SetRSS records memory usage for OOM modelling.
+// SetRSS records memory usage for OOM modelling (copy-on-write, like
+// SetJob).
 func (t *Table) SetRSS(pid ids.PID, rss int64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -250,7 +340,10 @@ func (t *Table) SetRSS(pid ids.PID, rss int64) error {
 	if !ok {
 		return fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
 	}
-	p.RSS = rss
+	np := *p
+	np.RSS = rss
+	t.procs[pid] = &np
+	t.dirtyLocked()
 	return nil
 }
 

@@ -137,6 +137,46 @@ func BenchmarkE4Policies(b *testing.B) {
 	}
 }
 
+// BenchmarkE4XLCampaign: the E4 drain scaled up 8× — 64 nodes, 36
+// users, 2000 jobs — to prove the event-driven placement engine keeps
+// per-job cost flat as the campaign grows (no superlinear tick ×
+// queue × node blowup). Compare ns/op ÷ 2000 here against
+// BenchmarkE4Policies ns/op ÷ 300.
+func BenchmarkE4XLCampaign(b *testing.B) {
+	b.ReportAllocs()
+	const users, jobs = 36, 2000
+	xlTopo := core.Topology{ComputeNodes: 64, LoginNodes: 2, CoresPerNode: 16, MemPerNode: 1 << 30, GPUsPerNode: 2}
+	for _, pol := range []sched.SharingPolicy{sched.PolicyShared, sched.PolicyExclusive, sched.PolicyUserWholeNode} {
+		b.Run(pol.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := core.Enhanced()
+				cfg.Policy = pol
+				c := core.MustNew(cfg, xlTopo)
+				rng := metrics.NewRNG(11)
+				var batches [][]workload.Submission
+				for u := 0; u < users; u++ {
+					user, _ := c.AddUser(fmt.Sprintf("user%d", u), "pw")
+					n := jobs / users
+					if u < jobs%users {
+						n++
+					}
+					batches = append(batches, workload.Sweep(rng.Split(), workload.SweepConfig{
+						User: user.Cred, Jobs: n, MinCores: 1, MaxCores: 8, MinDur: 1, MaxDur: 4, MemB: 1 << 20,
+					}))
+				}
+				mix := workload.WithOOM(workload.Mix(batches...), 60, 2<<30)
+				if _, err := workload.SubmitAll(c.Sched, mix); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				c.RunAll(100000)
+			}
+		})
+	}
+}
+
 // BenchmarkE5SSHGate: pam_slurm login decision on a compute node.
 func BenchmarkE5SSHGate(b *testing.B) {
 	b.ReportAllocs()

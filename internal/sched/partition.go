@@ -30,6 +30,10 @@ type Partition struct {
 	// PolicyOverride, when non-nil, replaces the cluster policy for
 	// placement inside this partition.
 	PolicyOverride *SharingPolicy
+	// scope aggregates capacity over the member nodes, so feasibility
+	// probes for partition jobs are O(1) too (set by AddPartition on
+	// the stored copy; placement.go).
+	scope *capScope
 }
 
 // Partition errors.
@@ -57,8 +61,18 @@ func (s *Scheduler) AddPartition(p Partition) error {
 	if s.partitions == nil {
 		s.partitions = make(map[string]*Partition)
 	}
+	// Re-registering a partition replaces its capacity scope too.
+	if old := s.partitions[p.Name]; old != nil && old.scope != nil {
+		s.dropScope(old.scope)
+	}
 	cp := p
+	cp.scope = s.enrollScope(func(ns *nodeState) bool {
+		return strings.HasPrefix(ns.node.Name, p.NodePrefix)
+	})
 	s.partitions[p.Name] = &cp
+	// A changed policy override or member set may make stuck pending
+	// jobs placeable: re-open the scheduling gate.
+	s.queueBlocked = false
 	return nil
 }
 

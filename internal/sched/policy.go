@@ -2,20 +2,29 @@ package sched
 
 import "repro/internal/simos"
 
-// fit computes a placement (node -> cores) for job j under the
-// configured sharing policy, or nil if it cannot start now.
-// Caller holds s.mu.
+// fit decides whether job j can start now under the configured
+// sharing policy, writing the placement into s.scratch (node index →
+// cores) on success. Caller holds s.mu.
 //
-// Placement is greedy first-fit in node order, which matches the
-// paper's description of node-based scheduling for large volumes of
-// short jobs [25]: no reservations, just pack what fits subject to
-// the policy constraint.
-func (s *Scheduler) fit(j *Job) map[string]int {
-	remaining := j.Spec.Cores
-	placement := make(map[string]int)
+// It runs in two phases. The feasibility probe checks the job's
+// request against the partition scope's capacity aggregates
+// (placement.go) — an unplaceable job, the common case while a
+// campaign drains, is rejected in O(1) without touching a node. Only
+// probe survivors pay for the placement scan: greedy first-fit in
+// node order, which matches the paper's description of node-based
+// scheduling for large volumes of short jobs [25] — no reservations,
+// just pack what fits subject to the policy constraint. Both phases
+// allocate nothing; tryStart materializes the scratch on success.
+func (s *Scheduler) fit(j *Job) bool {
 	part := s.partitionOf(j)
 	policy := s.effectivePolicy(j)
-	for _, ns := range s.nodes {
+	if !s.probe(j, s.scopeFor(part), policy) {
+		return false
+	}
+	remaining := j.Spec.Cores
+	sc := &s.scratch
+	sc.reset()
+	for i, ns := range s.nodes {
 		if remaining == 0 {
 			break
 		}
@@ -29,9 +38,6 @@ func (s *Scheduler) fit(j *Job) map[string]int {
 			continue
 		}
 		avail := ns.freeCores()
-		if policy == PolicyExclusive && !ns.empty() {
-			continue
-		}
 		if avail <= 0 || ns.freeMem() < j.Spec.MemB || ns.freeGPUs() < j.Spec.GPUs {
 			continue
 		}
@@ -39,20 +45,21 @@ func (s *Scheduler) fit(j *Job) map[string]int {
 		if take > remaining {
 			take = remaining
 		}
-		placement[ns.node.Name] = take
+		sc.nodes = append(sc.nodes, i)
+		sc.cores = append(sc.cores, take)
 		remaining -= take
 	}
 	if remaining > 0 {
-		return nil
+		return false
 	}
 	// Exclusive policy consumes whole nodes: inflate the core count so
 	// nothing else fits on them.
 	if policy == PolicyExclusive {
-		for name := range placement {
-			placement[name] = s.byName[name].node.Cores - s.byName[name].usedCores
+		for k, ni := range sc.nodes {
+			sc.cores[k] = s.nodes[ni].freeCores()
 		}
 	}
-	return placement
+	return true
 }
 
 // nodeEligible applies the policy's user constraint.

@@ -37,6 +37,15 @@ type nodeState struct {
 	totalGPUs int
 	jobs      map[int]*Job
 	users     map[ids.UID]int // uid -> #jobs on node
+	// scopes are the capacity aggregates this node contributes to
+	// (the default scope plus any partitions containing it); nil for
+	// non-compute nodes.
+	scopes []*capScope
+	// memCommit sums max(request, actual) memory over resident jobs;
+	// overCount counts resident jobs whose actual usage exceeds the
+	// node outright. Together they decide oomArmed without a scan.
+	memCommit int64
+	overCount int
 }
 
 func (ns *nodeState) freeCores() int { return ns.node.Cores - ns.usedCores }
@@ -54,11 +63,13 @@ func (ns *nodeState) soleUser(u ids.UID) bool {
 
 // Scheduler is the cluster batch scheduler.
 //
-// The hot per-tick state is indexed rather than scanned: pending jobs
-// live in a linked list with a jobID→element map (O(1) dequeue, no
-// per-tick queue copies), and running jobs are tracked in an
-// incrementally maintained ID-sorted slice, so Step never walks the
-// full historical s.jobs map.
+// The per-tick hot path is event-driven rather than scan-based (see
+// placement.go and calendar.go): pending jobs live in a linked list
+// with a jobID→element map, running jobs are indexed both ID-sorted
+// (for deterministic iteration) and in a completion calendar keyed by
+// their end tick, and capacity aggregates reject unplaceable jobs —
+// or skip the whole scheduling pass — without walking nodes. Step
+// never scans the full historical s.jobs map.
 type Scheduler struct {
 	Cfg Config
 
@@ -74,13 +85,16 @@ type Scheduler struct {
 	queueElem  map[int]*list.Element
 	jobs       map[int]*Job // every job ever submitted, by ID
 	// runningSorted indexes jobs in state Running, kept ID-sorted
-	// incrementally (inserted on start, removed on finish) so the
-	// per-tick completion pass never re-sorts. It is the single
-	// authority on the running set — len() is the count, range is
-	// the deterministic iteration order. (Squeue still sorts its
+	// incrementally (inserted on start, removed on finish). It is the
+	// single authority on the running set — len() is the count, range
+	// is the deterministic iteration order (Squeue still sorts its
 	// small merged pending+running result: backfill interleaves the
-	// two ID sequences.)
+	// two ID sequences).
 	runningSorted []*Job
+	// calendar schedules completions by end tick, with lazy deletion;
+	// due is its reusable pop buffer.
+	calendar calendar
+	due      []*Job
 	// activeByUser counts each user's pending+running jobs (the QoS
 	// denominator), maintained on enqueue / cancel / finish so the
 	// per-submit limit check is O(1).
@@ -88,13 +102,31 @@ type Scheduler struct {
 	records      []AccountingRecord
 	prologs      []Hook
 	epilogs      []Hook
+	// defaultScope aggregates capacity over all compute nodes;
+	// scratch is the allocation-free placement buffer (placement.go).
+	defaultScope *capScope
+	scratch      placeScratch
+	// armedNodes counts nodes whose resident jobs oversubscribe
+	// memory: the OOM fault-injection pass runs only when nonzero.
+	armedNodes int
+	// queueBlocked is the event-driven gate on the scheduling pass:
+	// set after any pass (capacity only shrinks within one), cleared
+	// by whatever could make a pending job startable — a submit, a
+	// resource release, a node coming back up.
+	queueBlocked bool
+	// lastDown mirrors each node's Down() state so the per-tick walk
+	// detects external crash/restore transitions and re-opens the
+	// queue gate on restores.
+	lastDown []bool
 	// computeCores/maxNodeGPUs are fixed at New: total compute cores
 	// (the per-tick totalCoreTicks increment and the Submit
 	// satisfiability bound) and the largest per-node GPU count.
 	computeCores int64
 	maxNodeGPUs  int
-	// busyCoreTicks accumulates cores in use each tick, for the
+	// busyCores sums Spec.Cores over running jobs (maintained on
+	// start/finish); busyCoreTicks accumulates it each tick for the
 	// utilization metric of experiment E4.
+	busyCores      int64
 	busyCoreTicks  int64
 	totalCoreTicks int64
 	// crashes counts node OOM crashes; cofailures counts jobs of
@@ -143,6 +175,8 @@ func New(cfg Config, nodes []*simos.Node, gpusPerNode int) *Scheduler {
 			n.AddPAMHook(s.pamSlurmHook())
 		}
 	}
+	s.lastDown = make([]bool, len(s.nodes))
+	s.defaultScope = s.enrollScope(func(*nodeState) bool { return true })
 	return s
 }
 
@@ -215,6 +249,7 @@ func (s *Scheduler) Submit(cred ids.Credential, spec JobSpec) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.queueElem[j.ID] = s.queue.PushBack(j)
 	s.activeByUser[j.User]++
+	s.queueBlocked = false // a new job may fit holes the rest cannot
 	return j.Clone(), nil
 }
 
@@ -288,85 +323,93 @@ func (s *Scheduler) stopRunningLocked(j *Job) {
 func (s *Scheduler) Step() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.stepLocked()
+}
+
+// stepLocked is Step with s.mu held, shared with RunAll so the drain
+// loop never re-locks to inspect state between ticks.
+func (s *Scheduler) stepLocked() int {
 	s.now++
 	// Account utilization before finishing, i.e. usage during this
 	// tick. Busy counts the cores jobs *requested*, not the cores a
 	// placement occupies — exclusive allocations waste the node
-	// remainder and that waste must show up as idle. Both sides come
-	// from indexes: the fixed compute-core total and the running set.
+	// remainder and that waste must show up as idle. Both sides are
+	// running counters: nothing is summed per tick.
 	s.totalCoreTicks += s.computeCores
-	for _, j := range s.runningSorted {
-		s.busyCoreTicks += int64(j.Spec.Cores)
-	}
-	// 1. Completions. Collect due jobs first (in ID order, for
-	// determinism) because finish mutates the running index.
-	var due []*Job
-	for _, j := range s.runningSorted {
-		if s.now-j.Start >= j.Spec.Duration {
-			due = append(due, j)
-		}
-	}
-	for _, j := range due {
+	s.busyCoreTicks += s.busyCores
+	// 1. Completions: pop due jobs off the calendar — (end tick, ID)
+	// heap order finishes them in ID order, and nothing else in the
+	// running set is touched.
+	s.due = s.calendar.popDue(s.now, s.due[:0])
+	for _, j := range s.due {
 		s.finish(j, Completed)
 	}
 	// 2a. Externally crashed nodes (hardware failure injected by a
-	// test or operator): every job on them fails.
-	for _, ns := range s.nodes {
-		if ns.node.Down() && len(ns.jobs) > 0 {
+	// test or operator): every job on them fails. The same walk
+	// tracks down/up transitions so an operator Restore re-opens the
+	// scheduling gate.
+	for i, ns := range s.nodes {
+		down := ns.node.Down()
+		if down != s.lastDown[i] {
+			s.lastDown[i] = down
+			if !down {
+				s.queueBlocked = false // restored capacity
+			}
+		}
+		if down && len(ns.jobs) > 0 {
 			for _, j := range jobsSorted(ns.jobs) {
 				s.finish(j, Failed)
 			}
 		}
 	}
 	// 2b. OOM fault injection: jobs that exceed their request blow up
-	// the node, killing every job on it.
-	for _, ns := range s.nodes {
-		over := false
-		for _, j := range ns.jobs {
-			if j.Spec.ActualMemB > ns.node.MemB {
-				over = true
+	// the node, killing every job on it. Armed state is maintained at
+	// placement time, so the node walk runs only when a crash is due.
+	if s.armedNodes > 0 {
+		for _, ns := range s.nodes {
+			if ns.oomArmed() {
+				s.crashNode(ns)
 			}
-		}
-		var memSum int64
-		for _, j := range ns.jobs {
-			m := j.Spec.MemB
-			if j.Spec.ActualMemB > m {
-				m = j.Spec.ActualMemB
-			}
-			memSum += m
-		}
-		if over || memSum > ns.node.MemB {
-			s.crashNode(ns)
 		}
 	}
 	// 3. Scheduling pass (first-fit over submit order = FIFO with
-	// backfill holes). Iterating the linked list with a next-capture
-	// lets tryStart unlink the current element in place — no per-tick
-	// copy of the queue.
+	// backfill holes). Skipped outright when nothing changed since
+	// the last failed pass (queueBlocked) or the cluster has no free
+	// core anywhere — the full-cluster steady state of a drain costs
+	// O(1). Iterating the linked list with a next-capture lets
+	// tryStart unlink the current element in place.
 	started := 0
-	for e := s.queue.Front(); e != nil; {
-		next := e.Next()
-		if s.tryStart(e.Value.(*Job)) {
-			started++
+	if s.queue.Len() > 0 && !s.queueBlocked && s.defaultScope.freeCores > 0 {
+		for e := s.queue.Front(); e != nil; {
+			next := e.Next()
+			if s.tryStart(e.Value.(*Job)) {
+				started++
+			}
+			e = next
 		}
-		e = next
 	}
+	// Capacity only shrinks during a pass, so jobs it left pending
+	// stay unplaceable until a release/submit/restore clears this.
+	s.queueBlocked = true
 	return started
 }
 
 // crashNode fails every job on the node and marks the crash. Jobs of
 // users other than the at-fault user count as cofailures (blast
-// radius, experiment E4).
+// radius, experiment E4). The at-fault user is the lowest-ID job
+// exceeding its request, so repeated runs blame identically even
+// when several users misbehave on one node.
 func (s *Scheduler) crashNode(ns *nodeState) {
 	s.crashes++
+	sorted := jobsSorted(ns.jobs)
 	var atFault ids.UID = ids.NoUID
-	for _, j := range ns.jobs {
+	for _, j := range sorted {
 		if j.Spec.ActualMemB > j.Spec.MemB {
 			atFault = j.User
 			break
 		}
 	}
-	for _, j := range jobsSorted(ns.jobs) {
+	for _, j := range sorted {
 		if j.User != atFault && atFault != ids.NoUID {
 			s.cofailures++
 		}
@@ -386,7 +429,9 @@ func jobsSorted(m map[int]*Job) []*Job {
 }
 
 // finish releases a job's resources, runs epilogs, records
-// accounting. Caller holds s.mu.
+// accounting. Nodes are walked in j.Nodes order (sorted at start), so
+// epilog hooks and resource releases happen in a stable node order.
+// Caller holds s.mu.
 func (s *Scheduler) finish(j *Job, state JobState) {
 	if j.State != Running {
 		return
@@ -395,21 +440,16 @@ func (s *Scheduler) finish(j *Job, state JobState) {
 	j.End = s.now
 	s.stopRunningLocked(j)
 	s.decActiveLocked(j.User)
-	for nodeName, cores := range j.Tasks {
+	s.busyCores -= int64(j.Spec.Cores)
+	for _, nodeName := range j.Nodes {
 		ns := s.byName[nodeName]
-		ns.usedCores -= cores
-		ns.usedMem -= j.Spec.MemB
-		ns.usedGPUs -= j.Spec.GPUs
-		delete(ns.jobs, j.ID)
-		ns.users[j.User]--
-		if ns.users[j.User] == 0 {
-			delete(ns.users, j.User)
-		}
+		s.applyRelease(ns, j, j.Tasks[nodeName])
 		ns.node.Procs.KillJob(j.ID)
 		for _, h := range s.epilogs {
 			_ = h(j, ns.node) // epilog failures are logged, not fatal, in Slurm
 		}
 	}
+	s.queueBlocked = false // released capacity may start pending jobs
 	s.account(j)
 }
 
@@ -425,24 +465,24 @@ func (s *Scheduler) account(j *Job) {
 	})
 }
 
-// tryStart attempts to place job j now. Caller holds s.mu.
+// tryStart attempts to place job j now. A failed attempt — the common
+// case while a campaign drains — costs an O(1) probe plus at most one
+// allocation-free node scan. Caller holds s.mu.
 func (s *Scheduler) tryStart(j *Job) bool {
-	placement := s.fit(j)
-	if placement == nil {
+	if !s.fit(j) {
 		return false
 	}
 	j.State = Running
 	j.Start = s.now
-	j.Tasks = placement
+	j.Tasks = make(map[string]int, len(s.scratch.nodes))
 	j.Nodes = j.Nodes[:0]
-	for name, cores := range placement {
-		ns := s.byName[name]
-		ns.usedCores += cores
-		ns.usedMem += j.Spec.MemB
-		ns.usedGPUs += j.Spec.GPUs
-		ns.jobs[j.ID] = j
-		ns.users[j.User]++
+	for k, ni := range s.scratch.nodes {
+		ns := s.nodes[ni]
+		cores := s.scratch.cores[k]
+		name := ns.node.Name
+		j.Tasks[name] = cores
 		j.Nodes = append(j.Nodes, name)
+		s.applyPlace(ns, j, cores)
 		// Spawn one task process per node, carrying the command line
 		// (the thing hidepid protects).
 		p := ns.node.Procs.Spawn(j.Cred, 1, "slurmstepd", j.Spec.Command)
@@ -459,6 +499,8 @@ func (s *Scheduler) tryStart(j *Job) bool {
 	sort.Strings(j.Nodes)
 	s.dequeue(j)
 	s.startRunningLocked(j)
+	s.calendar.push(j.Start+j.Spec.Duration, j)
+	s.busyCores += int64(j.Spec.Cores)
 	return true
 }
 
@@ -511,16 +553,57 @@ func (s *Scheduler) Job(id int) (*Job, error) {
 }
 
 // RunAll steps until the queue drains and all jobs finish, up to
-// maxTicks. Returns the number of ticks executed.
+// maxTicks. Returns the number of ticks executed (fast-forwarded
+// ticks count: logical time advances identically either way).
+//
+// The drain holds the lock once and is event-driven: after each real
+// tick, if the queue is provably stuck (every pass leaves it blocked
+// until capacity frees) and no OOM is armed, the ticks until the next
+// calendar completion contain no events — their only effect is
+// utilization accounting, which is applied analytically, and the
+// clock jumps straight to the tick containing the next event.
 func (s *Scheduler) RunAll(maxTicks int) int {
-	for t := 0; t < maxTicks; t++ {
-		s.Step()
-		s.mu.Lock()
-		idle := s.queue.Len() == 0 && len(s.runningSorted) == 0
-		s.mu.Unlock()
-		if idle {
-			return t + 1
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ticks := int64(0)
+	max := int64(maxTicks)
+	for ticks < max {
+		s.stepLocked()
+		ticks++
+		if s.queue.Len() == 0 && len(s.runningSorted) == 0 {
+			return int(ticks)
 		}
+		ticks += s.fastForwardLocked(max - ticks)
 	}
 	return maxTicks
+}
+
+// fastForwardLocked advances over up to budget event-free ticks,
+// returning how many were skipped. It refuses to skip whenever the
+// next tick could do anything a real Step would: finish a due job,
+// crash an armed node, or start a pending job. Caller holds s.mu.
+func (s *Scheduler) fastForwardLocked(budget int64) int64 {
+	if budget <= 0 || s.armedNodes > 0 {
+		return 0
+	}
+	if s.queue.Len() > 0 && !s.queueBlocked {
+		return 0
+	}
+	skip := budget
+	if next, ok := s.calendar.nextDue(); ok {
+		// The completion fires in the tick where now reaches next;
+		// run that tick for real.
+		if d := next - 1 - s.now; d < skip {
+			skip = d
+		}
+	}
+	// With nothing running and the queue stuck, no event ever comes:
+	// burn the whole budget (the caller's maxTicks cap).
+	if skip <= 0 {
+		return 0
+	}
+	s.now += skip
+	s.totalCoreTicks += s.computeCores * skip
+	s.busyCoreTicks += s.busyCores * skip
+	return skip
 }

@@ -1,6 +1,6 @@
 package repro
 
-// One benchmark per experiment (E1..E12, DESIGN.md §4), timing the
+// One benchmark per experiment (E1..E16, DESIGN.md §4), timing the
 // hot path each experiment exercises. The shape results themselves
 // are asserted in internal/experiments; these benches measure the
 // *cost* of the separation mechanisms, including the paper's central
@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/mitig"
@@ -556,6 +557,20 @@ func BenchmarkE15MitigationTax(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, w := range profiles {
 			_ = mitig.Slowdown(w, on)
+		}
+	}
+}
+
+// BenchmarkE16Ablation: the full enhanced-minus-one sweep — ten
+// cluster builds with the complete separation probe battery plus ten
+// E4-style utilization drains. This is the repo's heaviest composite
+// operation; it tracks the cost of "rebuild the world per ablation",
+// which is what every table-driven configuration study pays.
+func BenchmarkE16Ablation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSweep(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,13 +1,14 @@
 // Command benchharness regenerates every table of the paper's
-// evaluation (experiments E1..E15 in DESIGN.md) and records the
-// repo's performance trajectory as BENCH_*.json files.
+// evaluation (experiments E1..E15 in DESIGN.md, plus the E16
+// measure-ablation matrix) and records the repo's performance
+// trajectory as BENCH_*.json files.
 //
 // Table mode (default) prints the experiment tables:
 //
 //	go run ./cmd/benchharness
-//	go run ./cmd/benchharness -only E7
+//	go run ./cmd/benchharness -only E16
 //
-// Bench mode runs the E1..E15 Go benchmarks (bench_test.go) with
+// Bench mode runs the E1..E16 Go benchmarks (bench_test.go) with
 // -benchmem, parses ns/op, B/op and allocs/op per experiment ×
 // configuration, and writes a JSON record. When a previous record is
 // given (or auto-discovered as the newest other BENCH_*.json in the
@@ -106,11 +107,12 @@ func main() {
 		"E13": experiments.E13PPSComparison,
 		"E14": experiments.E14CryptoMPIComparison,
 		"E15": experiments.E15MitigationTax,
+		"E16": experiments.E16AblationMatrix,
 	}
 	if *only != "" {
 		f, ok := all[strings.ToUpper(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q (E1..E15)\n", *only)
+			fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q (E1..E16)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Println(f().Render())

@@ -1,17 +1,20 @@
 // Command hpcsim builds a simulated HPC cluster under a chosen
-// separation configuration, provisions users, runs a mixed workload,
-// and prints what the system looks like from different viewpoints —
-// the quickest way to *see* the paper's "it looks like they're the
-// only one on the HPC system" effect.
+// separation profile, provisions users, runs a mixed workload, and
+// prints what the system looks like from different viewpoints — the
+// quickest way to *see* the paper's "it looks like they're the only
+// one on the HPC system" effect.
 //
-//	go run ./cmd/hpcsim -config enhanced -users 4 -jobs 40
-//	go run ./cmd/hpcsim -config baseline
+//	go run ./cmd/hpcsim -profile enhanced -users 4 -jobs 40
+//	go run ./cmd/hpcsim -profile baseline
+//	go run ./cmd/hpcsim -profile enhanced -ablate hidepid,privatedata
+//	go run ./cmd/hpcsim -measures
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/ids"
@@ -20,30 +23,58 @@ import (
 )
 
 func main() {
-	cfgName := flag.String("config", "enhanced", "separation config: baseline or enhanced")
+	profileName := flag.String("profile", "enhanced", "separation profile: baseline or enhanced")
+	cfgName := flag.String("config", "", "deprecated alias for -profile")
+	ablate := flag.String("ablate", "", "comma-separated measures to drop from the profile (see -measures)")
+	listMeasures := flag.Bool("measures", false, "list the separation-measure registry and exit")
 	users := flag.Int("users", 4, "number of users")
 	jobs := flag.Int("jobs", 40, "jobs per user")
 	nodes := flag.Int("nodes", 8, "compute nodes")
 	seed := flag.Uint64("seed", 1, "workload RNG seed")
 	flag.Parse()
 
-	var cfg core.Config
-	switch *cfgName {
-	case "baseline":
-		cfg = core.Baseline()
-	case "enhanced":
-		cfg = core.Enhanced()
-	default:
-		fmt.Fprintf(os.Stderr, "hpcsim: unknown config %q\n", *cfgName)
+	if *listMeasures {
+		t := metrics.NewTable("separation-measure registry", "measure", "paper", "summary")
+		for _, m := range core.Measures() {
+			t.AddRow(m.Name, m.Section, m.Summary)
+		}
+		fmt.Println(t.Render())
+		return
+	}
+
+	// The deprecated -config alias applies only when -profile was not
+	// given explicitly; setting both to different values is an error.
+	profileSet := false
+	flag.Visit(func(f *flag.Flag) { profileSet = profileSet || f.Name == "profile" })
+	if *cfgName != "" {
+		if profileSet && *cfgName != *profileName {
+			fmt.Fprintf(os.Stderr, "hpcsim: -config %q conflicts with -profile %q (drop the deprecated -config)\n", *cfgName, *profileName)
+			os.Exit(2)
+		}
+		*profileName = *cfgName
+	}
+	profile, err := core.ProfileByName(*profileName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpcsim: %v\n", err)
 		os.Exit(2)
 	}
 	topo := core.DefaultTopology()
 	topo.ComputeNodes = *nodes
 
-	c, err := core.New(cfg, topo)
+	opts := []core.Option{core.WithTopology(topo)}
+	for _, m := range strings.Split(*ablate, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			opts = append(opts, core.Without(m))
+		}
+	}
+	c, err := core.NewWithProfile(profile, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpcsim: %v\n", err)
 		os.Exit(1)
+	}
+	cfg := c.Cfg
+	if diff := profile.MustConfig().Diff(cfg); len(diff) > 0 {
+		fmt.Printf("ablated vs %s:\n  %s\n\n", profile.Name, strings.Join(diff, "\n  "))
 	}
 
 	rng := metrics.NewRNG(*seed)

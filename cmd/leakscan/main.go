@@ -1,15 +1,24 @@
 // Command leakscan runs the full cross-user attack-surface sweep
-// (paper §V) against freshly built clusters in both the baseline and
-// the enhanced configuration and prints the two reports side by side.
+// (paper §V) against freshly built clusters and prints the reports.
+// By default it scans both named profiles (baseline and enhanced)
+// side by side; -profile narrows to one, and -ablate drops measures
+// from it first, so a site can ask "what leaks if we skip the UBF?"
+// directly:
 //
-// Exit status: 0 if the enhanced configuration shows no unexpected
-// leaks (only the paper's three residual channels), 1 otherwise.
+//	go run ./cmd/leakscan
+//	go run ./cmd/leakscan -profile enhanced -ablate ubf
+//
+// Exit status: 0 if the full (un-ablated) enhanced configuration
+// shows no unexpected leaks (only the paper's three residual
+// channels), 1 otherwise. Ablated runs are informational and never
+// gate, since reopening channels is their point.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -17,26 +26,52 @@ import (
 func main() {
 	computeNodes := flag.Int("nodes", 8, "compute nodes in the simulated cluster")
 	cores := flag.Int("cores", 16, "cores per node")
+	profileName := flag.String("profile", "", "scan a single profile (baseline or enhanced; default: both)")
+	ablate := flag.String("ablate", "", "comma-separated measures to drop from the profile before scanning")
 	flag.Parse()
 
 	topo := core.DefaultTopology()
 	topo.ComputeNodes = *computeNodes
 	topo.CoresPerNode = *cores
 
-	failed := false
-	for _, cfg := range []core.Config{core.Baseline(), core.Enhanced()} {
-		c, err := core.New(cfg, topo)
+	var opts []core.Option
+	for _, m := range strings.Split(*ablate, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			opts = append(opts, core.Without(m))
+		}
+	}
+
+	profiles := core.Profiles()
+	if *profileName != "" {
+		p, err := core.ProfileByName(*profileName)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "leakscan: build %s cluster: %v\n", cfg.Name, err)
+			fmt.Fprintf(os.Stderr, "leakscan: %v\n", err)
 			os.Exit(2)
+		}
+		profiles = []core.Profile{p}
+	} else if len(opts) > 0 {
+		// Ablation without an explicit profile means "enhanced minus
+		// the named measures" — ablating baseline is an error anyway.
+		profiles = []core.Profile{core.EnhancedProfile()}
+	}
+
+	failed := false
+	for _, p := range profiles {
+		c, err := core.NewWithProfile(p, append([]core.Option{core.WithTopology(topo)}, opts...)...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leakscan: build %s cluster: %v\n", p.Name, err)
+			os.Exit(2)
+		}
+		if diff := p.MustConfig().Diff(c.Cfg); len(diff) > 0 {
+			fmt.Printf("ablated vs %s:\n  %s\n\n", p.Name, strings.Join(diff, "\n  "))
 		}
 		rep, err := core.LeakScan(c)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "leakscan: scan %s: %v\n", cfg.Name, err)
+			fmt.Fprintf(os.Stderr, "leakscan: scan %s: %v\n", c.Cfg.Name, err)
 			os.Exit(2)
 		}
 		fmt.Println(rep.Table().Render())
-		if unexpected, _ := rep.Leaks(); cfg.Name == "enhanced" && unexpected > 0 {
+		if unexpected, _ := rep.Leaks(); c.Cfg.Name == "enhanced" && unexpected > 0 {
 			failed = true
 		}
 	}
@@ -44,5 +79,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "leakscan: enhanced configuration leaked unexpectedly")
 		os.Exit(1)
 	}
-	fmt.Println("leakscan: enhanced configuration closes every channel except the three residuals the paper lists")
+	if len(opts) == 0 && *profileName == "" {
+		fmt.Println("leakscan: enhanced configuration closes every channel except the three residuals the paper lists")
+	}
 }

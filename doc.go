@@ -9,9 +9,12 @@
 // encapsulation containers, and a web portal — and implements the
 // paper's enhanced-user-separation configuration on top of it.
 //
-// Start with internal/core (the Cluster type and the
-// Baseline/Enhanced presets), the examples/ directory, and
-// cmd/benchharness, which regenerates every experiment table. See
+// Start with internal/core: the Cluster type, the separation-measure
+// registry (core.Measures), and the named profiles from which the
+// Baseline/Enhanced presets are derived — NewWithProfile composes
+// ablated and extended variants with functional options. Then the
+// examples/ directory and cmd/benchharness, which regenerates every
+// experiment table including the E16 measure-ablation matrix. See
 // DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
 package repro

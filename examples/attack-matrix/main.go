@@ -20,8 +20,8 @@ import (
 )
 
 func main() {
-	for _, cfg := range []core.Config{core.Baseline(), core.Enhanced()} {
-		c, err := core.New(cfg, core.DefaultTopology())
+	for _, p := range core.Profiles() {
+		c, err := core.NewWithProfile(p)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -32,6 +32,6 @@ func main() {
 		fmt.Println(rep.Table().Render())
 		unexpected, residual := rep.Leaks()
 		fmt.Printf("%s: %d/%d channels closed, %d unexpected leaks, %d residual\n\n",
-			cfg.Name, rep.Closed(), len(rep.Results), unexpected, residual)
+			c.Cfg.Name, rep.Closed(), len(rep.Results), unexpected, residual)
 	}
 }

@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	c, err := core.New(core.Enhanced(), core.DefaultTopology())
+	c, err := core.NewWithProfile(core.EnhancedProfile())
 	if err != nil {
 		log.Fatal(err)
 	}

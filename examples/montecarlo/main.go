@@ -29,9 +29,16 @@ func main() {
 	for _, pol := range []sched.SharingPolicy{
 		sched.PolicyShared, sched.PolicyExclusive, sched.PolicyUserWholeNode,
 	} {
-		cfg := core.Enhanced()
-		cfg.Policy = pol
-		c, err := core.New(cfg, core.DefaultTopology())
+		// A one-off measure overrides the enhanced profile's policy
+		// while keeping every other separation measure deployed — the
+		// composable way to run a policy sweep.
+		pol := pol
+		c, err := core.NewWithProfile(core.EnhancedProfile(),
+			core.WithMeasures(core.Measure{
+				Name:    "policy-" + pol.String(),
+				Summary: "pin the node-sharing policy for this sweep point",
+				Apply:   func(cfg *core.Config) { cfg.Policy = pol },
+			}))
 		if err != nil {
 			log.Fatal(err)
 		}

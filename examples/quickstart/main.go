@@ -17,15 +17,15 @@ import (
 )
 
 func main() {
-	for _, cfg := range []core.Config{core.Baseline(), core.Enhanced()} {
-		fmt.Printf("=== %s configuration ===\n", cfg.Name)
-		demo(cfg)
+	for _, p := range core.Profiles() {
+		fmt.Printf("=== %s configuration ===\n", p.Name)
+		demo(p)
 		fmt.Println()
 	}
 }
 
-func demo(cfg core.Config) {
-	c, err := core.New(cfg, core.DefaultTopology())
+func demo(p core.Profile) {
+	c, err := core.NewWithProfile(p)
 	if err != nil {
 		log.Fatal(err)
 	}

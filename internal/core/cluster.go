@@ -63,8 +63,17 @@ const SupportGroupName = "hpc-support"
 // PrivateData.
 const CoordGroupName = "slurm-coord"
 
-// New builds a cluster under cfg with the given topology.
+// New builds a cluster under cfg with the given topology. Both are
+// validated first: a zero Topology or an incoherent Config (see
+// Config.Validate) is refused with a descriptive error instead of
+// producing a silently degenerate cluster.
 func New(cfg Config, topo Topology) (*Cluster, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: config %q: %w", cfg.Name, err)
+	}
 	c := &Cluster{
 		Cfg:      cfg,
 		Topo:     topo,
@@ -188,6 +197,9 @@ func New(cfg Config, topo Topology) (*Cluster, error) {
 
 	// Portal + containers.
 	c.Portal = portal.New(c.PortalHost)
+	if !cfg.PortalUserForward {
+		c.Portal.SetTunnelMode(true)
+	}
 	c.Containers = container.NewRuntime(cfg.ContainerRestrict)
 
 	// Escalation tools.

@@ -5,29 +5,43 @@
 // accelerators and containers that makes "every user feel like they
 // are running on a personal HPC" (paper abstract).
 //
-// The package exposes two presets:
+// The measures are first-class values. Each §IV measure is a
+// core.Measure in a package registry (Measures, MeasureByName): a
+// name, the paper section it comes from, the Config mutation it
+// applies, and a validation hook that rejects configurations which
+// half-apply it. A Profile is a base Config plus an ordered measure
+// set; the two presets are profiles of the same stock base:
 //
-//   - Baseline():  a stock multi-tenant Linux HPC system with default
-//     (permissive) settings — the "before" the paper argues against;
-//   - Enhanced():  the paper's deployed configuration — hidepid=2 with
-//     a support exemption, Slurm PrivateData + user-based whole-node
-//     scheduling + pam_slurm, user-private groups + root-owned homes +
-//     the smask kernel patch + ACL restriction, the User-Based
-//     Firewall, authenticated portal forwarding, GPU device
-//     assignment + epilog clearing, and restricted encapsulation
-//     containers.
+//   - Baseline()  = BaselineProfile(): no measures — the stock
+//     multi-tenant Linux HPC system the paper argues against;
+//   - Enhanced()  = EnhancedProfile(): the full registry — hidepid=2
+//     with the seepid exemption, Slurm PrivateData + user-based
+//     whole-node scheduling + pam_slurm, smask + ACL restriction +
+//     hardened homes, protected symlinks, the User-Based Firewall,
+//     identity-preserving portal forwarding, GPU device binding +
+//     epilog clearing, and restricted encapsulation containers.
 //
-// Every measure is individually toggleable so experiments can ablate
-// them (see bench_test.go and cmd/benchharness).
+// Clusters are built with New(cfg, topo) or, for composed and
+// ablated variants, NewWithProfile(profile, opts...) with the
+// functional options WithTopology, WithMeasures, Without and
+// WithName. Every construction path runs Config.Validate, so
+// incoherent states (a seepid exemption with hidepid off, smask bits
+// without the smask patch) fail loudly. Config.Diff labels what
+// changed between two configurations — the ablation sweep in
+// internal/experiments (E16) is built on exactly these pieces.
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/procfs"
 	"repro/internal/sched"
-	"repro/internal/vfs"
 )
 
-// Config is the full separation configuration of a cluster.
+// Config is the full separation configuration of a cluster. Prefer
+// deriving one from a Profile (which validates) over hand-editing
+// fields; direct field mutation remains supported for experiment
+// sweeps, and New validates the result either way.
 type Config struct {
 	Name string
 
@@ -58,6 +72,13 @@ type Config struct {
 	UBFGroupPeers    bool
 	UBFCacheVerdicts bool
 
+	// Portal (§IV-E). PortalUserForward makes the gateway dial each
+	// forwarded hop as the AUTHENTICATED user, so the UBF verdict on
+	// the compute node is the end user's own. Off, the portal behaves
+	// like a pre-portal ad-hoc tunnel: hops run as the route owner,
+	// and any portal user reaches any registered app.
+	PortalUserForward bool
+
 	// Accelerators (§IV-F).
 	GPUAssignPerms bool
 	GPUClear       bool
@@ -66,37 +87,79 @@ type Config struct {
 	ContainerRestrict bool
 }
 
-// Baseline returns the stock configuration of a conventional
-// multi-tenant HPC system: everything visible, everything shared.
-func Baseline() Config {
-	return Config{
-		Name:    "baseline",
-		HidePID: procfs.HidePIDOff,
-		Policy:  sched.PolicyShared,
+// Validate rejects incoherent configurations: intrinsic range checks
+// first, then every registered measure's validation hook (each hook
+// owns the cross-field rules for its slice of the Config, e.g. the
+// hidepid measure vetoes a seepid exemption with hidepid off).
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("config has no Name (profiles name their configs; literals must too)")
 	}
+	if c.HidePID < procfs.HidePIDOff || c.HidePID > procfs.HidePIDInvis {
+		return fmt.Errorf("HidePID %d out of range [0,2]", int(c.HidePID))
+	}
+	switch c.Policy {
+	case sched.PolicyShared, sched.PolicyExclusive, sched.PolicyUserWholeNode:
+	default:
+		return fmt.Errorf("unknown scheduling policy %d", int(c.Policy))
+	}
+	for _, m := range Measures() {
+		if m.Validate == nil {
+			continue
+		}
+		if err := m.Validate(c); err != nil {
+			return fmt.Errorf("measure %s (%s): %w", m.Name, m.Section, err)
+		}
+	}
+	return nil
 }
 
-// Enhanced returns the paper's deployed configuration.
-func Enhanced() Config {
-	return Config{
-		Name:              "enhanced",
-		HidePID:           procfs.HidePIDInvis,
-		SeepidEnabled:     true,
-		PrivateData:       true,
-		Policy:            sched.PolicyUserWholeNode,
-		PamSlurm:          true,
-		SmaskEnabled:      true,
-		Smask:             vfs.DefaultSmask,
-		ACLRestrict:       true,
-		HardenedHomes:     true,
-		ProtectedSymlinks: true,
-		UBFEnabled:        true,
-		UBFGroupPeers:     true,
-		UBFCacheVerdicts:  true,
-		GPUAssignPerms:    true,
-		GPUClear:          true,
-		ContainerRestrict: true,
+// Diff returns one human-readable line per field (Name excluded)
+// where c and other disagree, in struct order: "Policy: shared ->
+// user-wholenode". The labels are what the ablation tables and
+// -ablate CLI output print; TestConfigDiffCoversEveryField guards
+// the field list against drift.
+func (c Config) Diff(other Config) []string {
+	var d []string
+	add := func(field string, a, b any) {
+		if a != b {
+			d = append(d, fmt.Sprintf("%s: %v -> %v", field, a, b))
+		}
 	}
+	add("HidePID", c.HidePID, other.HidePID)
+	add("SeepidEnabled", c.SeepidEnabled, other.SeepidEnabled)
+	add("PrivateData", c.PrivateData, other.PrivateData)
+	add("Policy", c.Policy, other.Policy)
+	add("PamSlurm", c.PamSlurm, other.PamSlurm)
+	add("SmaskEnabled", c.SmaskEnabled, other.SmaskEnabled)
+	if c.Smask != other.Smask {
+		d = append(d, fmt.Sprintf("Smask: %04o -> %04o", c.Smask, other.Smask))
+	}
+	add("ACLRestrict", c.ACLRestrict, other.ACLRestrict)
+	add("HardenedHomes", c.HardenedHomes, other.HardenedHomes)
+	add("ProtectedSymlinks", c.ProtectedSymlinks, other.ProtectedSymlinks)
+	add("UBFEnabled", c.UBFEnabled, other.UBFEnabled)
+	add("UBFGroupPeers", c.UBFGroupPeers, other.UBFGroupPeers)
+	add("UBFCacheVerdicts", c.UBFCacheVerdicts, other.UBFCacheVerdicts)
+	add("PortalUserForward", c.PortalUserForward, other.PortalUserForward)
+	add("GPUAssignPerms", c.GPUAssignPerms, other.GPUAssignPerms)
+	add("GPUClear", c.GPUClear, other.GPUClear)
+	add("ContainerRestrict", c.ContainerRestrict, other.ContainerRestrict)
+	return d
+}
+
+// Baseline returns the stock configuration of a conventional
+// multi-tenant HPC system: everything visible, everything shared.
+// It is BaselineProfile() derived — the preset and the profile
+// cannot drift apart.
+func Baseline() Config {
+	return BaselineProfile().MustConfig()
+}
+
+// Enhanced returns the paper's deployed configuration: the stock
+// base plus every measure in the §IV registry (EnhancedProfile()).
+func Enhanced() Config {
+	return EnhancedProfile().MustConfig()
 }
 
 // Topology describes cluster geometry.
@@ -106,6 +169,27 @@ type Topology struct {
 	CoresPerNode int
 	MemPerNode   int64
 	GPUsPerNode  int
+}
+
+// Validate rejects degenerate geometries; New refuses to build a
+// cluster from them.
+func (t Topology) Validate() error {
+	if t.ComputeNodes < 1 {
+		return fmt.Errorf("topology needs at least 1 compute node (got %d)", t.ComputeNodes)
+	}
+	if t.CoresPerNode < 1 {
+		return fmt.Errorf("topology needs at least 1 core per node (got %d)", t.CoresPerNode)
+	}
+	if t.MemPerNode < 1 {
+		return fmt.Errorf("topology needs positive memory per node (got %d)", t.MemPerNode)
+	}
+	if t.LoginNodes < 0 {
+		return fmt.Errorf("negative login node count %d", t.LoginNodes)
+	}
+	if t.GPUsPerNode < 0 {
+		return fmt.Errorf("negative GPU count %d", t.GPUsPerNode)
+	}
+	return nil
 }
 
 // DefaultTopology is a small but representative cluster: 8 compute

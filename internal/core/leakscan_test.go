@@ -93,39 +93,75 @@ func TestLeakScanProbeCountStable(t *testing.T) {
 }
 
 func TestLeakScanAblations(t *testing.T) {
-	// Flipping exactly one measure off must re-open exactly the
-	// channels it guards — the per-measure attribution of §IV.
+	// Dropping exactly one measure (or one field of one) must re-open
+	// exactly the channels it guards — the per-measure attribution of
+	// §IV. Measure-granular ablations go through the registry
+	// (Without); finer-than-a-measure variants mutate a single field
+	// and must still pass Validate.
 	cases := []struct {
 		name     string
-		mutate   func(*Config)
+		ablate   []string      // measures dropped via Without
+		mutate   func(*Config) // finer-grained coherent field flips
 		reopened []string
 	}{
-		{"no-hidepid", func(cfg *Config) { cfg.HidePID = 0 },
-			[]string{"ps-foreign-visible", "cmdline-secret-read"}},
-		{"no-privatedata", func(cfg *Config) { cfg.PrivateData = false },
-			[]string{"squeue-foreign-job"}},
-		{"no-pam", func(cfg *Config) { cfg.PamSlurm = false },
-			[]string{"ssh-roam-to-victim-node"}},
-		{"no-smask", func(cfg *Config) { cfg.SmaskEnabled = false },
-			[]string{"chmod-world-readable", "tmp-content-read"}},
-		{"no-ubf", func(cfg *Config) { cfg.UBFEnabled = false },
-			[]string{"cross-user-dial", "rdma-tcp-cm-qp", "portal-cross-user-forward"}},
+		{name: "no-hidepid", ablate: []string{"hidepid"},
+			reopened: []string{"ps-foreign-visible", "cmdline-secret-read"}},
+		{name: "no-privatedata", ablate: []string{"privatedata"},
+			reopened: []string{"squeue-foreign-job"}},
+		{name: "no-pam", mutate: func(cfg *Config) { cfg.PamSlurm = false },
+			reopened: []string{"ssh-roam-to-victim-node"}},
+		// Dropping the smask patch alone (ACLs + hardened homes stay)
+		// reopens only the world-bit paths...
+		{name: "no-smask-patch", mutate: func(cfg *Config) {
+			cfg.SmaskEnabled = false
+			cfg.Smask = 0
+		}, reopened: []string{"chmod-world-readable", "tmp-content-read"}},
+		// ...while ablating the whole §IV-C measure also reopens the
+		// home and stranger-ACL paths its other halves guard — and,
+		// because containers pass the host filesystem through (§IV-G),
+		// the same home read succeeds from inside a container.
+		{name: "no-smask-measure", ablate: []string{"smask"},
+			reopened: []string{"chmod-world-readable", "tmp-content-read",
+				"home-file-read", "acl-grant-to-stranger", "container-home-read"}},
+		{name: "no-ubf", ablate: []string{"ubf"},
+			reopened: []string{"cross-user-dial", "rdma-tcp-cm-qp", "portal-cross-user-forward"}},
+		// Without the identity-preserving portal measure the gateway
+		// forwards as the route owner, so the UBF waves the hop
+		// through for ANY authenticated portal user.
+		{name: "no-portal", ablate: []string{"portal"},
+			reopened: []string{"portal-cross-user-forward"}},
 		// The GPU ablation also drops to the shared policy: under
 		// user-wholenode the attacker never colocates with the
 		// victim's GPU, so whole-node scheduling masks the missing
 		// epilog clear — defense in depth working as the paper says.
-		{"no-gpu-clear", func(cfg *Config) {
+		{name: "no-gpu-clear", mutate: func(cfg *Config) {
 			cfg.GPUClear = false
 			cfg.GPUAssignPerms = false
 			cfg.Policy = sched.PolicyShared
-		}, []string{"gpu-memory-residue"}},
+		}, reopened: []string{"gpu-memory-residue"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			cfg := Enhanced()
-			cfg.Name = tc.name
-			tc.mutate(&cfg)
-			rep, err := LeakScan(MustNew(cfg, scanTopo()))
+			opts := []Option{WithName(tc.name)}
+			for _, m := range tc.ablate {
+				opts = append(opts, Without(m))
+			}
+			resolved, _, err := ResolveProfile(EnhancedProfile(), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := resolved.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.mutate != nil {
+				tc.mutate(&cfg)
+			}
+			c, err := New(cfg, scanTopo())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := LeakScan(c)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAblationSweepDiagonal pins the E16 matrix: every ablated
+// measure reopens exactly the channels its paper section claims to
+// close — no more (a measure silently covering for another), no less
+// (a measure that stopped mattering).
+func TestAblationSweepDiagonal(t *testing.T) {
+	want := map[string][]string{
+		"(none)":             nil,
+		"hidepid":            {chanE1Pids},
+		"privatedata":        {chanE3Jobs},
+		"wholenode":          {chanE5SSH},
+		"smask":              {chanE6Files},
+		"protected-symlinks": {chanE6Symlink},
+		// Without the UBF the portal's forwarded hop is unguarded
+		// too, so the network ablation reopens both network channels.
+		"ubf":       {chanE7Flow, chanE11Portal},
+		"portal":    {chanE11Portal},
+		"gpu":       {chanE9GPU},
+		"container": {chanE12Runtime},
+	}
+	rows, err := AblationSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(core.Measures())+1 {
+		t.Fatalf("sweep has %d rows, want control + %d measures", len(rows), len(core.Measures()))
+	}
+	var control AblationRow
+	for _, r := range rows {
+		expect, known := want[r.Measure]
+		if !known {
+			t.Errorf("unexpected sweep row %q — extend this test with its expected channels", r.Measure)
+			continue
+		}
+		got := append([]string(nil), r.Reopened...)
+		sort.Strings(got)
+		sort.Strings(expect)
+		if !reflect.DeepEqual(got, expect) {
+			t.Errorf("ablating %s reopened %v, want %v", r.Measure, r.Reopened, expect)
+		}
+		if r.Measure == "(none)" {
+			control = r
+		}
+	}
+	// The E4 half: only the scheduling ablation moves the drain —
+	// shared packing buys utilization but reopens the cross-user OOM
+	// blast radius the paper's policy exists to confine.
+	for _, r := range rows {
+		switch r.Measure {
+		case "wholenode":
+			if r.Cofailures == 0 {
+				t.Errorf("wholenode ablation: no cross-user cofailures (blast radius should reopen)")
+			}
+			if r.Util <= control.Util {
+				t.Errorf("wholenode ablation: util %.3f not above control %.3f (shared should pack tighter)", r.Util, control.Util)
+			}
+		case "(none)":
+			if r.Cofailures != 0 {
+				t.Errorf("control drain has %d cross-user cofailures", r.Cofailures)
+			}
+		default:
+			if r.Cofailures != 0 {
+				t.Errorf("ablating %s changed OOM blast radius (%d cofailures)", r.Measure, r.Cofailures)
+			}
+			if r.UtilDelta != 0 {
+				t.Errorf("ablating %s moved utilization by %+.3f (non-scheduler measures are control-plane only)", r.Measure, r.UtilDelta)
+			}
+		}
+	}
+}
+
+// TestE16TableShape: the rendered matrix stays consumable by the
+// harness (header + one row per registry measure + control).
+func TestE16TableShape(t *testing.T) {
+	tab := E16AblationMatrix()
+	render := tab.Render()
+	for _, frag := range []string{"E16", "hidepid", "§IV-G", "E7 stranger-flow"} {
+		if !strings.Contains(render, frag) {
+			t.Errorf("E16 render missing %q:\n%s", frag, render)
+		}
+	}
+}

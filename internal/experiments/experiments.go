@@ -1,9 +1,11 @@
 // Package experiments regenerates the paper's evaluation. The paper
 // (an experience/systems paper) publishes no numeric tables; its
-// Results section (§V) makes claims. DESIGN.md §4 maps each claim to
-// an experiment E1..E12; each function here produces the
-// corresponding table. cmd/benchharness prints them all; bench_test.go
-// at the repository root times the hot paths.
+// Results section (§V) makes claims. DESIGN.md maps each claim to an
+// experiment E1..E15; each function here produces the corresponding
+// table, and ablation.go adds E16 — the enhanced-minus-one-measure
+// matrix the paper argues qualitatively but never prints.
+// cmd/benchharness prints them all; bench_test.go at the repository
+// root times the hot paths.
 package experiments
 
 import (
@@ -27,9 +29,14 @@ func topo() core.Topology {
 	return core.Topology{ComputeNodes: 8, LoginNodes: 2, CoresPerNode: 16, MemPerNode: 1 << 30, GPUsPerNode: 2}
 }
 
-// bothConfigs returns the two comparison points.
+// bothConfigs returns the two comparison points, derived from the
+// named profiles (baseline first).
 func bothConfigs() []core.Config {
-	return []core.Config{core.Baseline(), core.Enhanced()}
+	var cfgs []core.Config
+	for _, p := range core.Profiles() {
+		cfgs = append(cfgs, p.MustConfig())
+	}
+	return cfgs
 }
 
 func yesNo(b bool) string {
@@ -55,6 +62,10 @@ func E1ProcessVisibility() *metrics.Table {
 	for _, hide := range []procfs.HidePID{procfs.HidePIDOff, procfs.HidePIDNoRead, procfs.HidePIDInvis} {
 		cfg := core.Enhanced()
 		cfg.HidePID = hide
+		// A seepid exemption with hidepid off is incoherent (nothing
+		// to be exempt from) and Validate rejects it; at hidepid=0 the
+		// exemption changes no outcome, so drop it for that point.
+		cfg.SeepidEnabled = hide != procfs.HidePIDOff
 		c := core.MustNew(cfg, topo())
 		users := make([]*core.User, 3)
 		for i := range users {
@@ -590,5 +601,6 @@ func All() []*metrics.Table {
 		E13PPSComparison(),
 		E14CryptoMPIComparison(),
 		E15MitigationTax(),
+		E16AblationMatrix(),
 	}
 }

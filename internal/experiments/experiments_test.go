@@ -331,8 +331,8 @@ func TestE12Shape(t *testing.T) {
 
 func TestAllRuns(t *testing.T) {
 	tables := All()
-	if len(tables) != 15 {
-		t.Fatalf("tables = %d, want 15", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("tables = %d, want 16", len(tables))
 	}
 	for _, tb := range tables {
 		out := tb.Render()

@@ -52,6 +52,7 @@ type Portal struct {
 	sessions map[string]ids.Credential
 	routes   map[string]*Route
 	nextTok  int
+	tunnel   bool // legacy forwarding: hops run as the route owner
 }
 
 // New creates a portal bound to the given gateway host.
@@ -62,6 +63,20 @@ func New(host *netsim.Host) *Portal {
 		sessions: make(map[string]ids.Credential),
 		routes:   make(map[string]*Route),
 	}
+}
+
+// SetTunnelMode switches between the paper's identity-preserving
+// forwarding (off, the default: each hop is dialed as the
+// AUTHENTICATED user, so the UBF on the compute node applies the end
+// user's own verdict) and pre-portal ad-hoc tunnel semantics (on:
+// hops are dialed as the ROUTE OWNER, the way a user-launched ssh
+// tunnel terminates — any authenticated portal user then reaches any
+// registered app, because the firewall only ever sees the owner's
+// identity). Tunnel mode is the §IV-E ablation.
+func (p *Portal) SetTunnelMode(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tunnel = on
 }
 
 // Enroll registers a user's portal password (site SSO enrolment).
@@ -144,12 +159,18 @@ func (p *Portal) Forward(token, path string, payload []byte) ([]byte, error) {
 	p.mu.Lock()
 	cred, authed := p.sessions[token]
 	r, routed := p.routes[path]
+	tunnel := p.tunnel
 	p.mu.Unlock()
 	if !authed {
 		return nil, ErrUnauthenticated
 	}
 	if !routed {
 		return nil, fmt.Errorf("%w: %s", ErrNoRoute, path)
+	}
+	if tunnel {
+		// Legacy tunnel semantics: the hop terminates as the route
+		// owner, whoever asked for it (see SetTunnelMode).
+		cred = ids.Credential{UID: r.Owner}
 	}
 	conn, err := p.host.Dial(cred, netsim.TCP, r.Node, r.Port)
 	if err != nil {

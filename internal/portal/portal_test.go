@@ -204,3 +204,29 @@ func TestBaselineNoUBFCrossUserForwardSucceeds(t *testing.T) {
 		t.Errorf("baseline cross-user forward should succeed (leak): %v", err)
 	}
 }
+
+func TestTunnelModeForwardsAsRouteOwner(t *testing.T) {
+	// The §IV-E ablation: in tunnel mode the hop terminates as the
+	// ROUTE OWNER (pre-portal ad-hoc tunnel semantics), so the UBF
+	// only ever sees alice's identity and bob's authenticated session
+	// sails through to alice's app.
+	p, _, hosts, creds := world(t)
+	p.SetTunnelMode(true)
+	if _, err := Serve(hosts["c00"], creds["alice"], 8888); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(creds["alice"], "/jupyter/a", "c00", 8888); err != nil {
+		t.Fatal(err)
+	}
+	tokBob, err := p.Login(creds["bob"], "bob-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forward(tokBob, "/jupyter/a", []byte("GET /")); err != nil {
+		t.Errorf("tunnel-mode cross-user forward err = %v, want reopened", err)
+	}
+	// Authentication is still the front door even in tunnel mode.
+	if _, err := p.Forward("bogus", "/jupyter/a", nil); !errors.Is(err, ErrUnauthenticated) {
+		t.Errorf("unauthenticated tunnel forward err = %v, want 401", err)
+	}
+}

@@ -57,7 +57,20 @@ const (
 	HidePIDInvis  HidePID = 2
 )
 
-func (h HidePID) String() string { return fmt.Sprintf("hidepid=%d", int(h)) }
+// String renders the symbolic level name (profile diffs and the E16
+// ablation table print these instead of raw mount-option ints).
+func (h HidePID) String() string {
+	switch h {
+	case HidePIDOff:
+		return "off"
+	case HidePIDNoRead:
+		return "noread"
+	case HidePIDInvis:
+		return "invisible"
+	default:
+		return fmt.Sprintf("hidepid=%d", int(h))
+	}
+}
 
 // Mount is one node's /proc mount configuration.
 type Mount struct {

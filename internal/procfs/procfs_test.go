@@ -237,7 +237,16 @@ func TestQuickReadableSubsetOfList(t *testing.T) {
 }
 
 func TestHidePIDString(t *testing.T) {
-	if HidePIDInvis.String() != "hidepid=2" {
-		t.Errorf("String = %q", HidePIDInvis.String())
+	// Symbolic names: profile diffs and the E16 ablation table print
+	// these instead of raw mount-option ints.
+	for h, want := range map[HidePID]string{
+		HidePIDOff:    "off",
+		HidePIDNoRead: "noread",
+		HidePIDInvis:  "invisible",
+		HidePID(7):    "hidepid=7",
+	} {
+		if got := h.String(); got != want {
+			t.Errorf("HidePID(%d).String() = %q, want %q", int(h), got, want)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/mitig"
@@ -558,6 +559,27 @@ func BenchmarkE15MitigationTax(b *testing.B) {
 		for _, w := range profiles {
 			_ = mitig.Slowdown(w, on)
 		}
+	}
+}
+
+// BenchmarkFleetCampaign: the E4 policy-grid campaign (3 scenarios ×
+// 8 replications = 24 independent cluster drains) executed by the
+// fleet engine at several worker counts. Results are bit-identical
+// across the sub-benchmarks (the engine's determinism contract);
+// only wall-clock moves, so on a multi-core host the 4w/8w rows show
+// the shard speedup while on a single-core host they stay flat.
+func BenchmarkFleetCampaign(b *testing.B) {
+	b.ReportAllocs()
+	camp := fleet.MustPreset(fleet.PresetE4PolicyGrid)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("%dw", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(camp, fleet.Options{Workers: workers, Seed: 42}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -7,8 +7,9 @@
 //
 //	go run ./cmd/benchharness
 //	go run ./cmd/benchharness -only E16
+//	go run ./cmd/benchharness -only E4FLEET   # replicated fleet campaigns
 //
-// Bench mode runs the E1..E16 Go benchmarks (bench_test.go) with
+// Bench mode runs the E1..E16 and Fleet Go benchmarks (bench_test.go) with
 // -benchmem, parses ns/op, B/op and allocs/op per experiment ×
 // configuration, and writes a JSON record. When a previous record is
 // given (or auto-discovered as the newest other BENCH_*.json in the
@@ -40,7 +41,8 @@ import (
 )
 
 // Bench is one parsed benchmark measurement. Experiment is the E-id
-// ("E1".."E15"); Config the sub-benchmark path (e.g. "enhanced",
+// ("E1".."E16"), or the benchmark family name for non-E rows (e.g.
+// "FleetCampaign"); Config the sub-benchmark path (e.g. "enhanced",
 // "setup-ubf-cache"), empty for single-variant benchmarks.
 type Bench struct {
 	Name        string  `json:"name"` // full name minus "Benchmark" and -cpu suffix
@@ -78,7 +80,7 @@ func main() {
 	out := flag.String("out", "", "bench mode: output JSON path (e.g. BENCH_PR1.json)")
 	prev := flag.String("prev", "", "bench mode: previous BENCH_*.json to diff against; relative paths anchor to the module root (default: newest-mtime other BENCH_*.json there — unreliable in fresh clones, pin explicitly when several exist)")
 	label := flag.String("label", "", "bench mode: record label (default: output filename stem)")
-	pattern := flag.String("pattern", "^BenchmarkE[0-9]+", "bench mode: -bench regex passed to go test")
+	pattern := flag.String("pattern", "^Benchmark(E[0-9]+|Fleet)", "bench mode: -bench regex passed to go test")
 	benchtime := flag.String("benchtime", "200ms", "bench mode: -benchtime passed to go test")
 	gate := flag.Float64("gate", 0, "bench mode: fail if any ns/op regresses more than this percent vs previous (0 = report only)")
 	flag.Parse()
@@ -108,11 +110,14 @@ func main() {
 		"E14": experiments.E14CryptoMPIComparison,
 		"E15": experiments.E15MitigationTax,
 		"E16": experiments.E16AblationMatrix,
+		// Fleet campaign re-expressions (replicated distributions).
+		"E4FLEET":  experiments.E4FleetReplicated,
+		"E16FLEET": experiments.E16FleetDrainReplicated,
 	}
 	if *only != "" {
 		f, ok := all[strings.ToUpper(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q (E1..E16)\n", *only)
+			fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q (E1..E16, E4FLEET, E16FLEET)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Println(f().Render())
@@ -233,6 +238,14 @@ func parseBenchOutput(s string) (cpu string, benches []Bench) {
 		}
 		if i := strings.IndexByte(name, '/'); i >= 0 {
 			b.Config = name[i+1:]
+		}
+		if b.Experiment == "" {
+			// Non-E benchmarks (FleetCampaign) group by family name so
+			// the experiment field is never empty.
+			b.Experiment = name
+			if i := strings.IndexByte(name, '/'); i >= 0 {
+				b.Experiment = name[:i]
+			}
 		}
 		benches = append(benches, b)
 	}

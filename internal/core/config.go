@@ -162,13 +162,14 @@ func Enhanced() Config {
 	return EnhancedProfile().MustConfig()
 }
 
-// Topology describes cluster geometry.
+// Topology describes cluster geometry. The JSON tags are the wire
+// form fleet scenario files use.
 type Topology struct {
-	ComputeNodes int
-	LoginNodes   int
-	CoresPerNode int
-	MemPerNode   int64
-	GPUsPerNode  int
+	ComputeNodes int   `json:"compute_nodes"`
+	LoginNodes   int   `json:"login_nodes"`
+	CoresPerNode int   `json:"cores_per_node"`
+	MemPerNode   int64 `json:"mem_per_node"`
+	GPUsPerNode  int   `json:"gpus_per_node"`
 }
 
 // Validate rejects degenerate geometries; New refuses to build a

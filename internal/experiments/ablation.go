@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sched"
@@ -223,20 +224,13 @@ func utilizationDrain(cfg core.Config) (util float64, cofail int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	rng := metrics.NewRNG(16)
-	var batches [][]workload.Submission
-	for u := 0; u < 4; u++ {
-		user, err := c.AddUser(fmt.Sprintf("user%d", u), "pw")
-		if err != nil {
-			return 0, 0, err
-		}
-		batches = append(batches, workload.Sweep(rng.Split(), workload.SweepConfig{
-			User: user.Cred, Jobs: 40,
-			MinCores: 1, MaxCores: 8,
-			MinDur: 1, MaxDur: 4, MemB: 1 << 20,
-		}))
+	// The mix is the shared fleet.E16DrainMix definition (also the
+	// e16-ablation-drain campaign preset), built with the sweep's
+	// pinned seed.
+	mix, err := fleet.ProvisionMix(c, fleet.E16DrainMix(), metrics.NewRNG(16))
+	if err != nil {
+		return 0, 0, err
 	}
-	mix := workload.WithOOM(workload.Mix(batches...), 40, 2<<30)
 	if _, err := workload.SubmitAll(c.Sched, mix); err != nil {
 		return 0, 0, err
 	}

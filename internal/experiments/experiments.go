@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -24,9 +25,11 @@ import (
 	"repro/internal/workload"
 )
 
-// topo is the standard experiment geometry.
+// topo is the standard experiment geometry — the same definition the
+// fleet campaign presets build on, so the E tables and their fleet
+// re-expressions cannot drift.
 func topo() core.Topology {
-	return core.Topology{ComputeNodes: 8, LoginNodes: 2, CoresPerNode: 16, MemPerNode: 1 << 30, GPUsPerNode: 2}
+	return fleet.ExperimentTopology()
 }
 
 // bothConfigs returns the two comparison points, derived from the
@@ -160,17 +163,14 @@ func E4SchedulingPolicies() *metrics.Table {
 		cfg := core.Enhanced()
 		cfg.Policy = pol
 		c := core.MustNew(cfg, topo())
-		rng := metrics.NewRNG(4)
-		var batches [][]workload.Submission
-		for u := 0; u < 6; u++ {
-			user, _ := c.AddUser(fmt.Sprintf("user%d", u), "pw")
-			batches = append(batches, workload.Sweep(rng.Split(), workload.SweepConfig{
-				User: user.Cred, Jobs: 50,
-				MinCores: 1, MaxCores: 8,
-				MinDur: 1, MaxDur: 4, MemB: 1 << 20,
-			}))
+		// The mix is the shared fleet.E4Mix definition, built with the
+		// table's pinned seed (ProvisionMix splits per user in
+		// credential order, the same draws as the historical inline
+		// loop).
+		mix, err := fleet.ProvisionMix(c, fleet.E4Mix(), metrics.NewRNG(4))
+		if err != nil {
+			panic(err)
 		}
-		mix := workload.WithOOM(workload.Mix(batches...), 60, 2<<30)
 		if _, err := workload.SubmitAll(c.Sched, mix); err != nil {
 			panic(err)
 		}
@@ -602,5 +602,7 @@ func All() []*metrics.Table {
 		E14CryptoMPIComparison(),
 		E15MitigationTax(),
 		E16AblationMatrix(),
+		E4FleetReplicated(),
+		E16FleetDrainReplicated(),
 	}
 }

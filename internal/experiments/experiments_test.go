@@ -331,8 +331,9 @@ func TestE12Shape(t *testing.T) {
 
 func TestAllRuns(t *testing.T) {
 	tables := All()
-	if len(tables) != 16 {
-		t.Fatalf("tables = %d, want 16", len(tables))
+	// E1..E16 plus the two fleet-replicated campaign tables.
+	if len(tables) != 18 {
+		t.Fatalf("tables = %d, want 18", len(tables))
 	}
 	for _, tb := range tables {
 		out := tb.Render()

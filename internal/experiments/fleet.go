@@ -1,0 +1,50 @@
+package experiments
+
+// The fleet re-expression of the two campaign-shaped experiments:
+// E4's policy comparison and E16's drain column were single RNG
+// draws in their tables; as fleet campaigns each cell becomes a
+// replicated distribution (mean ± sd over independently-seeded
+// trials), which is the replication-then-summarize methodology the
+// exemplar analysis pipelines apply to per-run result files. The
+// campaign specs themselves are fleet presets, shared with
+// cmd/fleetrun; these wrappers run them and annotate the tables with
+// the paper-claim reading.
+
+import (
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+// fleetSeed pins the campaign master seed the tables are generated
+// with, so the rendered numbers are reproducible like every other
+// experiment.
+const fleetSeed = 2024
+
+// E4FleetReplicated runs the E4 policy grid as a fleet campaign:
+// 3 policies × 8 replications of the OOM-faulted 300-job mix.
+func E4FleetReplicated() *metrics.Table {
+	res, err := fleet.Run(fleet.MustPreset(fleet.PresetE4PolicyGrid), fleet.Options{Seed: fleetSeed})
+	if err != nil {
+		panic(err)
+	}
+	t := res.Table()
+	t.Title = "E4 (fleet-replicated): policy grid, 8 independent seeds per policy"
+	t.AddNote("E4 replicated: the policy trade-off must hold in distribution, not in one draw —")
+	t.AddNote("user-wholenode keeps cofailures at 0 across every replication while matching shared's utilization")
+	return t
+}
+
+// E16FleetDrainReplicated runs the E16 drain column as a fleet
+// campaign: enhanced-minus-one-measure × 5 replications of the
+// OOM-faulted drain. (The probe half of E16 is boolean and stays in
+// AblationSweep.)
+func E16FleetDrainReplicated() *metrics.Table {
+	res, err := fleet.Run(fleet.MustPreset(fleet.PresetE16AblationDrain), fleet.Options{Seed: fleetSeed})
+	if err != nil {
+		panic(err)
+	}
+	t := res.Table()
+	t.Title = "E16 (fleet-replicated): ablation drain, 5 independent seeds per ablation"
+	t.AddNote("E16 drain replicated: only the wholenode ablation moves utilization or cofailures; every other row matches the control in distribution")
+	return t
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// The fleet re-expression of E4 must reproduce the paper's policy
+// trade-off in distribution, not just in the table's single draw:
+// across all replications user-wholenode has zero cross-user
+// cofailures, shared has some, and wholenode's utilization beats
+// exclusive's.
+func TestE4FleetReproducesPolicyTradeoff(t *testing.T) {
+	res, err := fleet.Run(fleet.MustPreset(fleet.PresetE4PolicyGrid), fleet.Options{Seed: fleetSeed, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for i, s := range res.Scenarios {
+		byName[s.Name] = i
+	}
+	shared := res.Scenarios[byName["e4/shared"]]
+	exclusive := res.Scenarios[byName["e4/exclusive"]]
+	wholenode := res.Scenarios[byName["e4/user-wholenode"]]
+
+	if wholenode.Cofailures != 0 {
+		t.Errorf("user-wholenode cofailures = %d over %d reps, want 0", wholenode.Cofailures, wholenode.Replications)
+	}
+	if shared.Cofailures == 0 {
+		t.Errorf("shared saw no cross-user cofailures over %d reps — OOM injection broken?", shared.Replications)
+	}
+	if wholenode.Util.Mean <= exclusive.Util.Mean {
+		t.Errorf("wholenode util %.3f <= exclusive %.3f: the paper's packing claim failed",
+			wholenode.Util.Mean, exclusive.Util.Mean)
+	}
+	// Even the worst wholenode replication must beat exclusive's best.
+	if wholenode.Util.Min <= exclusive.Util.Max {
+		t.Errorf("wholenode min util %.3f <= exclusive max %.3f: trade-off does not hold in distribution",
+			wholenode.Util.Min, exclusive.Util.Max)
+	}
+	for _, s := range res.Scenarios {
+		if s.Unfinished != 0 {
+			t.Errorf("%s: %d jobs unfinished at horizon", s.Name, s.Unfinished)
+		}
+	}
+}
+
+// The E16 drain campaign's structure: only the wholenode ablation may
+// produce cross-user cofailures; the control never does.
+func TestE16FleetDrainShape(t *testing.T) {
+	res, err := fleet.Run(fleet.MustPreset(fleet.PresetE16AblationDrain), fleet.Options{Seed: fleetSeed, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Scenarios {
+		switch s.Name {
+		case "e16/-wholenode":
+			if s.Cofailures == 0 {
+				t.Errorf("%s: expected cross-user cofailures when wholenode is ablated", s.Name)
+			}
+		default:
+			if s.Cofailures != 0 {
+				t.Errorf("%s: %d cross-user cofailures under user-wholenode scheduling", s.Name, s.Cofailures)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Built-in preset names.
+const (
+	// PresetSmoke is a tiny two-scenario campaign used by CI's
+	// determinism gate and the tests — seconds, not minutes.
+	PresetSmoke = "smoke"
+	// PresetE4PolicyGrid re-expresses experiment E4 as a campaign:
+	// the identical OOM-faulted short-job mix drained under each
+	// node-sharing policy, replicated under independent seeds — the
+	// E4 table's single draw becomes a distribution.
+	PresetE4PolicyGrid = "e4-policy-grid"
+	// PresetE16AblationDrain re-expresses the E16 drain column as a
+	// campaign: the utilization/cofailure drain under "enhanced minus
+	// one measure" for every registry entry plus the control. (The
+	// probe half of E16 is boolean, not statistical — it stays in
+	// internal/experiments.)
+	PresetE16AblationDrain = "e16-ablation-drain"
+)
+
+// ExperimentTopology is the standard 8×16-core geometry the E1..E16
+// tables run on. It is exported as the single definition shared by
+// internal/experiments and the campaign presets, so the "fleet
+// re-expresses E4/E16" claim is structural: the two cannot drift.
+func ExperimentTopology() core.Topology {
+	return core.Topology{ComputeNodes: 8, LoginNodes: 2, CoresPerNode: 16, MemPerNode: 1 << 30, GPUsPerNode: 2}
+}
+
+// E4Mix is the E4 workload — 6 users × 50 short jobs, every 60th
+// exceeding its memory request — shared by the E4 table
+// (internal/experiments) and the e4-policy-grid preset.
+func E4Mix() workload.MixSpec {
+	return workload.MixSpec{
+		Users: 6, JobsPerUser: 50,
+		MinCores: 1, MaxCores: 8, MinDur: 1, MaxDur: 4, MemB: 1 << 20,
+		OOMEvery: 60, OOMMemB: 2 << 30,
+	}
+}
+
+// E16DrainMix is the E16 drain workload — 4 users × 40 short jobs,
+// every 40th exceeding its memory request — shared by the E16
+// ablation sweep (internal/experiments) and the e16-ablation-drain
+// preset.
+func E16DrainMix() workload.MixSpec {
+	return workload.MixSpec{
+		Users: 4, JobsPerUser: 40,
+		MinCores: 1, MaxCores: 8, MinDur: 1, MaxDur: 4, MemB: 1 << 20,
+		OOMEvery: 40, OOMMemB: 2 << 30,
+	}
+}
+
+func smokeCampaign() Campaign {
+	topo := core.Topology{ComputeNodes: 4, LoginNodes: 1, CoresPerNode: 8, MemPerNode: 1 << 30, GPUsPerNode: 1}
+	mix := workload.MixSpec{
+		Users: 3, JobsPerUser: 15,
+		MinCores: 1, MaxCores: 4, MinDur: 1, MaxDur: 3, MemB: 1 << 20,
+		OOMEvery: 20, OOMMemB: 2 << 30,
+	}
+	return Campaign{
+		Name: PresetSmoke,
+		Scenarios: []Scenario{
+			{
+				Name: "smoke/enhanced", Profile: "enhanced",
+				Topology: topo, Workload: mix, Horizon: 2000, Replications: 3,
+			},
+			{
+				Name: "smoke/baseline", Profile: "baseline",
+				Topology: topo, Workload: mix, Horizon: 2000, Replications: 3,
+			},
+		},
+	}
+}
+
+func e4PolicyGridCampaign() Campaign {
+	c := Campaign{Name: PresetE4PolicyGrid}
+	for _, pol := range []sched.SharingPolicy{sched.PolicyShared, sched.PolicyExclusive, sched.PolicyUserWholeNode} {
+		c.Scenarios = append(c.Scenarios, Scenario{
+			Name:     "e4/" + pol.String(),
+			Profile:  "enhanced",
+			Policy:   pol.String(),
+			Topology: ExperimentTopology(),
+			Workload: E4Mix(),
+			Horizon:  5000, Replications: 8,
+		})
+	}
+	return c
+}
+
+func e16AblationDrainCampaign() Campaign {
+	c := Campaign{Name: PresetE16AblationDrain}
+	control := Scenario{
+		Name: "e16/(none)", Profile: "enhanced",
+		Topology: ExperimentTopology(), Workload: E16DrainMix(),
+		Horizon: 5000, Replications: 5,
+	}
+	c.Scenarios = append(c.Scenarios, control)
+	for _, m := range core.Measures() {
+		s := control
+		s.Name = "e16/-" + m.Name
+		s.Ablate = []string{m.Name}
+		c.Scenarios = append(c.Scenarios, s)
+	}
+	return c
+}
+
+// Presets returns the built-in campaigns, in listing order.
+func Presets() []Campaign {
+	return []Campaign{smokeCampaign(), e4PolicyGridCampaign(), e16AblationDrainCampaign()}
+}
+
+// PresetByName resolves a built-in campaign.
+func PresetByName(name string) (Campaign, error) {
+	for _, c := range Presets() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	var names []string
+	for _, c := range Presets() {
+		names = append(names, c.Name)
+	}
+	return Campaign{}, fmt.Errorf("fleet: unknown preset %q (have %v)", name, names)
+}
+
+// MustPreset is PresetByName, panicking on error (for benchmarks and
+// the experiments package, where the name is a package constant).
+func MustPreset(name string) Campaign {
+	c, err := PresetByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

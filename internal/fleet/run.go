@@ -1,0 +1,236 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers is the shard count; <= 0 means GOMAXPROCS. The worker
+	// count affects wall-clock time only, never results: see the
+	// determinism contract on Run.
+	Workers int
+	// Seed is the campaign master seed every trial stream derives
+	// from.
+	Seed uint64
+}
+
+// ScenarioResult aggregates one scenario's trials with mergeable
+// streaming statistics — no per-trial sample slices are retained, so
+// campaigns scale to arbitrary replication counts.
+type ScenarioResult struct {
+	Name         string             `json:"name"`
+	Replications int                `json:"replications"`
+	Util         metrics.Acc        `json:"util"`
+	Makespan     metrics.Acc        `json:"makespan_ticks"`
+	MakespanHist *metrics.Histogram `json:"makespan_hist"`
+	Crashes      int                `json:"crashes"`
+	Cofailures   int                `json:"cofailures"`
+	// Unfinished counts jobs still pending or running at the horizon,
+	// summed over trials; nonzero means the horizon is too short for
+	// the workload.
+	Unfinished int `json:"unfinished"`
+}
+
+// Merge folds another shard of the same scenario in. Merge order is
+// the caller's contract: Run always merges in replication order, so
+// floating-point accumulation is reproducible.
+func (r *ScenarioResult) Merge(o *ScenarioResult) error {
+	if r.Name != o.Name {
+		return fmt.Errorf("fleet: merging results of different scenarios (%q vs %q)", r.Name, o.Name)
+	}
+	r.Replications += o.Replications
+	r.Util.Merge(o.Util)
+	r.Makespan.Merge(o.Makespan)
+	if err := r.MakespanHist.Merge(o.MakespanHist); err != nil {
+		return fmt.Errorf("fleet: scenario %q: %w", r.Name, err)
+	}
+	r.Crashes += o.Crashes
+	r.Cofailures += o.Cofailures
+	r.Unfinished += o.Unfinished
+	return nil
+}
+
+// CampaignResult is a completed campaign: one merged ScenarioResult
+// per scenario, in campaign order. Worker count is deliberately NOT
+// part of the result, so records from differently-sharded runs are
+// comparable byte for byte.
+type CampaignResult struct {
+	Campaign  string            `json:"campaign"`
+	Seed      uint64            `json:"seed"`
+	Scenarios []*ScenarioResult `json:"scenarios"`
+}
+
+// JSON renders the canonical record: indented, trailing newline,
+// deterministic for a fixed (campaign, seed) regardless of workers.
+func (r *CampaignResult) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Table renders the campaign summary in the repo's experiment-table
+// form.
+func (r *CampaignResult) Table() *metrics.Table {
+	t := metrics.NewTable(fmt.Sprintf("fleet campaign: %s", r.Campaign),
+		"scenario", "reps", "util mean", "util sd", "makespan mean", "makespan max", "crashes", "cofail", "unfinished")
+	for _, s := range r.Scenarios {
+		// The makespan tail comes from the Acc (exact across
+		// replications); the histogram's horizon-scaled buckets are too
+		// coarse to render as a quantile.
+		t.AddRow(s.Name, s.Replications,
+			s.Util.Mean, s.Util.Std(),
+			s.Makespan.Mean, s.Makespan.Max,
+			s.Crashes, s.Cofailures, s.Unfinished)
+	}
+	t.AddNote("seed %d; trial streams keyed by (scenario, replication) — results are worker-count-invariant", r.Seed)
+	return t
+}
+
+// Run executes every trial of the campaign across a pool of worker
+// goroutines and merges per-trial results in replication order.
+//
+// Determinism contract: for a fixed (campaign, seed) the result —
+// including its JSON() bytes — is identical for any worker count and
+// any trial completion order. Three mechanisms combine to guarantee
+// it: trials share no state (each builds its own cluster), each
+// trial's RNG stream is derived from (scenario name, replication
+// index) rather than from draw order, and the reduction merges
+// fixed-size per-trial aggregates in trial-index order rather than
+// completion order.
+func Run(c Campaign, opt Options) (*CampaignResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type trialRef struct {
+		scenario int
+		rep      int
+	}
+	trials := make([]trialRef, 0, c.Trials())
+	for si, s := range c.Scenarios {
+		for rep := 0; rep < s.Replications; rep++ {
+			trials = append(trials, trialRef{scenario: si, rep: rep})
+		}
+	}
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+
+	// Each worker writes only its own trial's slot, so the slices need
+	// no lock; wg.Wait is the happens-before edge back to the reducer.
+	partials := make([]*ScenarioResult, len(trials))
+	errs := make([]error, len(trials))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range work {
+				ref := trials[ti]
+				partials[ti], errs[ti] = runTrial(c.Scenarios[ref.scenario], ref.rep, opt.Seed)
+			}
+		}()
+	}
+	for ti := range trials {
+		work <- ti
+	}
+	close(work)
+	wg.Wait()
+
+	for ti, err := range errs {
+		if err != nil {
+			ref := trials[ti]
+			return nil, fmt.Errorf("fleet: scenario %q replication %d: %w", c.Scenarios[ref.scenario].Name, ref.rep, err)
+		}
+	}
+
+	res := &CampaignResult{Campaign: c.Name, Seed: opt.Seed}
+	i := 0
+	for _, s := range c.Scenarios {
+		agg := partials[i]
+		i++
+		for rep := 1; rep < s.Replications; rep++ {
+			if err := agg.Merge(partials[i]); err != nil {
+				return nil, err
+			}
+			i++
+		}
+		res.Scenarios = append(res.Scenarios, agg)
+	}
+	return res, nil
+}
+
+// makespanBuckets is the fixed histogram resolution. The layout must
+// be known before any trial runs so all partials of a scenario merge,
+// and [0, horizon] is the only pre-known bound — so the buckets are
+// horizon-scaled (coarse): the histogram records the distribution's
+// shape at horizon resolution (e.g. replications that nearly ran out
+// of horizon), while exact min/mean/max come from the Makespan Acc.
+const makespanBuckets = 16
+
+// ProvisionMix provisions spec.Users accounts ("u0", "u1", …) on the
+// cluster and builds the submission mix from rng — the shared idiom
+// of every campaign-shaped experiment (fleet trials, the E4 table,
+// the E16 drain).
+func ProvisionMix(c *core.Cluster, spec workload.MixSpec, rng *metrics.RNG) ([]workload.Submission, error) {
+	creds := make([]ids.Credential, spec.Users)
+	for u := range creds {
+		acct, err := c.AddUser(fmt.Sprintf("u%d", u), "pw")
+		if err != nil {
+			return nil, err
+		}
+		creds[u] = acct.Cred
+	}
+	return spec.Build(rng, creds)
+}
+
+// runTrial builds a fresh cluster per the scenario, submits the mix
+// drawn from the trial's own RNG stream, drains up to the horizon
+// and returns a one-trial aggregate.
+func runTrial(s Scenario, rep int, master uint64) (*ScenarioResult, error) {
+	prof, err := core.ProfileByName(s.Profile)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.NewWithProfile(prof, s.options()...)
+	if err != nil {
+		return nil, err
+	}
+	mix, err := ProvisionMix(c, s.Workload, metrics.NewRNG(s.TrialSeed(master, rep)))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.SubmitAll(c.Sched, mix); err != nil {
+		return nil, err
+	}
+	ticks := c.RunAll(s.Horizon)
+	crashes, cofail := c.Sched.Crashes()
+
+	res := &ScenarioResult{
+		Name:         s.Name,
+		Replications: 1,
+		MakespanHist: metrics.NewHistogram(0, float64(s.Horizon), makespanBuckets),
+		Crashes:      crashes,
+		Cofailures:   cofail,
+		Unfinished:   len(c.Sched.Squeue(ids.RootCred())), // pending + still-running at the horizon
+	}
+	res.Util.Add(c.Sched.Utilization())
+	res.Makespan.Add(float64(ticks))
+	res.MakespanHist.Add(float64(ticks))
+	return res, nil
+}

@@ -99,6 +99,17 @@ type Dist struct {
 // Add appends a sample.
 func (d *Dist) Add(v float64) { d.samples = append(d.samples, v) }
 
+// Merge folds other's samples into d, so per-shard Dists combine
+// into exactly the Dist a single collector would have built: every
+// statistic (Mean, Quantile, Max) of the merged Dist equals the
+// statistic over the concatenated sample sets.
+func (d *Dist) Merge(other *Dist) {
+	if other == nil {
+		return
+	}
+	d.samples = append(d.samples, other.samples...)
+}
+
 // N returns the sample count.
 func (d *Dist) N() int { return len(d.samples) }
 
@@ -148,12 +159,18 @@ type RNG struct {
 	state uint64
 }
 
+// splitmixGamma is SplitMix64's golden-ratio increment; the state
+// walks this arithmetic progression and every output is a bijective
+// finalizer of a state point, which is what makes random-access
+// stream derivation (StreamSeed) possible.
+const splitmixGamma = 0x9e3779b97f4a7c15
+
 // NewRNG seeds a generator.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
 // Uint64 returns the next value.
 func (r *RNG) Uint64() uint64 {
-	r.state += 0x9e3779b97f4a7c15
+	r.state += splitmixGamma
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -177,4 +194,15 @@ func (r *RNG) Float64() float64 {
 // streams).
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
+}
+
+// StreamSeed is Split generalized to random access: StreamSeed(s, i)
+// equals the seed that NewRNG(s)'s (i+1)-th sequential Split would
+// use (its i-th Uint64 draw, 0-indexed) — without drawing the i
+// predecessors. Sharded executors use it to key trial i's stream by
+// index, so every trial's randomness is independent of worker count,
+// scheduling order, and which shard ran it.
+func StreamSeed(seed, i uint64) uint64 {
+	r := RNG{state: seed + i*splitmixGamma}
+	return r.Uint64()
 }

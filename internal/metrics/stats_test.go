@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// Dist.Merge must make shard-local Dists indistinguishable from one
+// collector: every statistic of the merged Dist equals the statistic
+// over the concatenated samples.
+func TestDistMergeMatchesCombined(t *testing.T) {
+	rng := NewRNG(31)
+	var combined Dist
+	shards := make([]*Dist, 4)
+	for i := range shards {
+		shards[i] = &Dist{}
+	}
+	for i := 0; i < 997; i++ {
+		v := rng.Float64()*100 - 50
+		combined.Add(v)
+		shards[i%len(shards)].Add(v)
+	}
+	var merged Dist
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	merged.Merge(nil) // no-op
+
+	if merged.N() != combined.N() {
+		t.Fatalf("merged N = %d, combined N = %d", merged.N(), combined.N())
+	}
+	// Samples arrive in a different order, so the mean's FP summation
+	// may differ in the last ulps; order-insensitive stats are exact.
+	if math.Abs(merged.Mean()-combined.Mean()) > 1e-12 {
+		t.Errorf("merged mean %v != combined %v", merged.Mean(), combined.Mean())
+	}
+	if merged.Max() != combined.Max() {
+		t.Errorf("merged max %v != combined %v", merged.Max(), combined.Max())
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if got, want := merged.Quantile(q), combined.Quantile(q); got != want {
+			t.Errorf("quantile(%v): merged %v != combined %v", q, got, want)
+		}
+	}
+}
+
+func TestAccMergeMatchesSequential(t *testing.T) {
+	rng := NewRNG(7)
+	var all Acc
+	parts := make([]Acc, 5)
+	for i := 0; i < 1213; i++ {
+		v := rng.Float64()*10 - 3
+		all.Add(v)
+		parts[i%len(parts)].Add(v)
+	}
+	var merged Acc
+	merged.Merge(Acc{}) // empty is a no-op
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count != all.Count || merged.Min != all.Min || merged.Max != all.Max {
+		t.Fatalf("count/min/max: merged %+v vs sequential %+v", merged, all)
+	}
+	if math.Abs(merged.Mean-all.Mean) > 1e-12 {
+		t.Errorf("mean: merged %v vs sequential %v", merged.Mean, all.Mean)
+	}
+	if math.Abs(merged.Variance()-all.Variance()) > 1e-9 {
+		t.Errorf("variance: merged %v vs sequential %v", merged.Variance(), all.Variance())
+	}
+}
+
+func TestAccSmall(t *testing.T) {
+	var a Acc
+	if a.Variance() != 0 || a.Std() != 0 {
+		t.Errorf("empty acc variance nonzero")
+	}
+	a.Add(5)
+	if a.Variance() != 0 {
+		t.Errorf("single-sample variance = %v", a.Variance())
+	}
+	a.Add(7)
+	if a.Mean != 6 || a.Variance() != 2 || a.Min != 5 || a.Max != 7 {
+		t.Errorf("acc over {5,7} = %+v (var %v)", a, a.Variance())
+	}
+	// Merging into an empty Acc adopts the other side verbatim.
+	var b Acc
+	b.Merge(a)
+	if b != a {
+		t.Errorf("empty.Merge(a) = %+v, want %+v", b, a)
+	}
+}
+
+func TestHistogramMergeMatchesCombined(t *testing.T) {
+	rng := NewRNG(13)
+	one := NewHistogram(0, 100, 10)
+	parts := []*Histogram{NewHistogram(0, 100, 10), NewHistogram(0, 100, 10), NewHistogram(0, 100, 10)}
+	for i := 0; i < 2000; i++ {
+		v := rng.Float64()*120 - 10 // deliberately spills both ends
+		one.Add(v)
+		parts[i%len(parts)].Add(v)
+	}
+	merged := NewHistogram(0, 100, 10)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := merged.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if merged.N() != one.N() || merged.Under != one.Under || merged.Over != one.Over {
+		t.Fatalf("totals: merged N=%d u=%d o=%d vs one N=%d u=%d o=%d",
+			merged.N(), merged.Under, merged.Over, one.N(), one.Under, one.Over)
+	}
+	for i := range merged.Counts {
+		if merged.Counts[i] != one.Counts[i] {
+			t.Errorf("bucket %d: merged %d vs one %d", i, merged.Counts[i], one.Counts[i])
+		}
+	}
+	for q := 0.0; q <= 1.0; q += 0.25 {
+		if got, want := merged.Quantile(q), one.Quantile(q); got != want {
+			t.Errorf("quantile(%v): merged %v vs one %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramLayoutGuards(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if err := h.Merge(NewHistogram(0, 20, 5)); err == nil {
+		t.Errorf("layout mismatch merge accepted")
+	}
+	if err := h.Merge(NewHistogram(0, 10, 4)); err == nil {
+		t.Errorf("bucket-count mismatch merge accepted")
+	}
+	h.Add(10) // hi edge lands in the last bucket, not overflow
+	if h.Over != 0 || h.Counts[4] != 1 {
+		t.Errorf("hi edge: over=%d counts=%v", h.Over, h.Counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("degenerate layout did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile = %v", h.Quantile(0.5))
+	}
+	h.Add(-1)
+	if h.Quantile(0.5) != h.Lo {
+		t.Errorf("underflow-only quantile = %v, want Lo", h.Quantile(0.5))
+	}
+	for _, v := range []float64{0.5, 3.5, 9.5} {
+		h.Add(v)
+	}
+	// 3 in-range samples: p50 is the 2nd -> bucket [3,4) upper edge.
+	if got := h.Quantile(0.5); got != 4 {
+		t.Errorf("p50 = %v, want 4", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("p100 = %v, want 10", got)
+	}
+}
+
+// StreamSeed must be random access into exactly the stream Split
+// walks sequentially.
+func TestStreamSeedMatchesSequentialSplit(t *testing.T) {
+	const seed = 12345
+	seq := NewRNG(seed)
+	for i := uint64(0); i < 50; i++ {
+		want := seq.Uint64() // i-th draw == seed of the (i+1)-th sequential Split
+		if got := StreamSeed(seed, i); got != want {
+			t.Fatalf("StreamSeed(%d, %d) = %#x, want %#x", seed, i, got, want)
+		}
+	}
+}
+
+// Split streams must not correlate or collide: across 8 children x
+// 1e5 draws every value is distinct (SplitMix64 is a bijection per
+// stream; cross-stream collisions at this volume would mean the
+// streams overlap), and each stream's Float64 mean sits near 1/2.
+func TestRNGSplitStreamIndependence(t *testing.T) {
+	const (
+		streams = 8
+		draws   = 100000
+	)
+	parent := NewRNG(2024)
+	seen := make(map[uint64]struct{}, streams*draws)
+	for s := 0; s < streams; s++ {
+		child := parent.Split()
+		var sum float64
+		for i := 0; i < draws; i++ {
+			v := child.Uint64()
+			if _, dup := seen[v]; dup {
+				t.Fatalf("stream %d draw %d: value %#x already produced by another stream", s, i, v)
+			}
+			seen[v] = struct{}{}
+			sum += float64(v>>11) / float64(1<<53)
+		}
+		if mean := sum / draws; mean < 0.49 || mean > 0.51 {
+			t.Errorf("stream %d mean %v outside [0.49, 0.51]", s, mean)
+		}
+	}
+	// Pairwise lag-0 correlation proxy: identical prefixes would have
+	// been caught by the collision set; additionally the XOR of first
+	// draws across streams must not vanish.
+	first := make([]uint64, streams)
+	p2 := NewRNG(2024)
+	for s := range first {
+		first[s] = p2.Split().Uint64()
+	}
+	for i := 0; i < streams; i++ {
+		for j := i + 1; j < streams; j++ {
+			if first[i] == first[j] {
+				t.Errorf("streams %d and %d share their first draw", i, j)
+			}
+		}
+	}
+}

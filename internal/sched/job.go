@@ -80,6 +80,20 @@ func (p SharingPolicy) String() string {
 	}
 }
 
+// ParsePolicy is String's inverse, for CLIs and declarative scenario
+// files that carry policies as text.
+func ParsePolicy(s string) (SharingPolicy, error) {
+	switch s {
+	case "shared":
+		return PolicyShared, nil
+	case "exclusive":
+		return PolicyExclusive, nil
+	case "user-wholenode":
+		return PolicyUserWholeNode, nil
+	}
+	return 0, fmt.Errorf("sched: unknown sharing policy %q (shared, exclusive, user-wholenode)", s)
+}
+
 // JobSpec is what a user submits.
 type JobSpec struct {
 	Name    string

@@ -320,6 +320,17 @@ func TestJobStringAndStateString(t *testing.T) {
 		if p.String() != want {
 			t.Errorf("policy %d = %q", p, p.String())
 		}
+		if want == "?" {
+			continue
+		}
+		// ParsePolicy round-trips every valid String form.
+		back, err := ParsePolicy(want)
+		if err != nil || back != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", want, back, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted bogus policy")
 	}
 }
 

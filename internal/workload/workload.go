@@ -71,6 +71,87 @@ func MonteCarlo(rng *metrics.RNG, c SweepConfig) []Submission {
 	return subs
 }
 
+// MixSpec declaratively describes a multi-user campaign mix — the
+// contended-scheduler scenario of E4 as data instead of code, so
+// campaign files (internal/fleet) can carry workloads. Build turns
+// it into a submission stream given one credential per user.
+type MixSpec struct {
+	Users       int    `json:"users"`
+	JobsPerUser int    `json:"jobs_per_user"`
+	Kind        string `json:"kind,omitempty"` // "sweep" (default) or "montecarlo"
+	MinCores    int    `json:"min_cores"`
+	MaxCores    int    `json:"max_cores"`
+	MinDur      int64  `json:"min_dur"`
+	MaxDur      int64  `json:"max_dur"`
+	MemB        int64  `json:"mem_b"`
+	// OOMEvery > 0 marks every OOMEvery-th job of the interleaved
+	// stream as exceeding its request by OOMMemB (see WithOOM).
+	OOMEvery int   `json:"oom_every,omitempty"`
+	OOMMemB  int64 `json:"oom_mem_b,omitempty"`
+}
+
+// Validate rejects degenerate specs with descriptive errors.
+func (m MixSpec) Validate() error {
+	if m.Users < 1 {
+		return fmt.Errorf("workload: mix needs at least 1 user (got %d)", m.Users)
+	}
+	if m.JobsPerUser < 1 {
+		return fmt.Errorf("workload: mix needs at least 1 job per user (got %d)", m.JobsPerUser)
+	}
+	switch m.Kind {
+	case "", "sweep", "montecarlo":
+	default:
+		return fmt.Errorf("workload: unknown mix kind %q (sweep, montecarlo)", m.Kind)
+	}
+	if m.MinCores < 1 || m.MaxCores < m.MinCores {
+		return fmt.Errorf("workload: bad core range [%d, %d]", m.MinCores, m.MaxCores)
+	}
+	if m.MinDur < 1 || m.MaxDur < m.MinDur {
+		return fmt.Errorf("workload: bad duration range [%d, %d]", m.MinDur, m.MaxDur)
+	}
+	if m.MemB < 1 {
+		return fmt.Errorf("workload: non-positive job memory %d", m.MemB)
+	}
+	if m.OOMEvery < 0 {
+		return fmt.Errorf("workload: negative OOMEvery %d", m.OOMEvery)
+	}
+	if m.OOMEvery > 0 && m.OOMMemB < 1 {
+		return fmt.Errorf("workload: OOMEvery set but OOMMemB is %d", m.OOMMemB)
+	}
+	return nil
+}
+
+// Build generates the interleaved stream deterministically from rng:
+// one Split child per user in credential order (the idiom every
+// experiment uses), round-robin Mix, then OOM injection. len(users)
+// must equal m.Users so the spec stays the single source of truth
+// for the mix's shape.
+func (m MixSpec) Build(rng *metrics.RNG, users []ids.Credential) ([]Submission, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(users) != m.Users {
+		return nil, fmt.Errorf("workload: spec wants %d users, got %d credentials", m.Users, len(users))
+	}
+	gen := Sweep
+	if m.Kind == "montecarlo" {
+		gen = MonteCarlo
+	}
+	batches := make([][]Submission, 0, m.Users)
+	for _, cred := range users {
+		batches = append(batches, gen(rng.Split(), SweepConfig{
+			User: cred, Jobs: m.JobsPerUser,
+			MinCores: m.MinCores, MaxCores: m.MaxCores,
+			MinDur: m.MinDur, MaxDur: m.MaxDur, MemB: m.MemB,
+		}))
+	}
+	mix := Mix(batches...)
+	if m.OOMEvery > 0 {
+		mix = WithOOM(mix, m.OOMEvery, m.OOMMemB)
+	}
+	return mix, nil
+}
+
 // Mix interleaves batches from several users into one submit-order
 // stream, round-robin, which is the contended-scheduler scenario of
 // experiment E4.

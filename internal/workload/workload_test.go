@@ -56,6 +56,69 @@ func TestMonteCarloCommandsDiffer(t *testing.T) {
 	}
 }
 
+func TestMixSpecBuild(t *testing.T) {
+	spec := MixSpec{
+		Users: 3, JobsPerUser: 10, Kind: "montecarlo",
+		MinCores: 1, MaxCores: 4, MinDur: 1, MaxDur: 3, MemB: 5,
+		OOMEvery: 10, OOMMemB: 999,
+	}
+	users := []ids.Credential{cred(1000), cred(2000), cred(3000)}
+	a, err := spec.Build(metrics.NewRNG(9), users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Build(metrics.NewRNG(9), users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 30 {
+		t.Fatalf("stream len = %d, want 30", len(a))
+	}
+	oom := 0
+	for i := range a {
+		if a[i].Cred.UID != b[i].Cred.UID || a[i].Spec.Cores != b[i].Spec.Cores ||
+			a[i].Spec.Duration != b[i].Spec.Duration || a[i].Spec.Command != b[i].Spec.Command {
+			t.Fatalf("Build not deterministic at %d", i)
+		}
+		// Round-robin interleave: position i belongs to user i%3.
+		if want := users[i%3].UID; a[i].Cred.UID != want {
+			t.Errorf("stream[%d].UID = %d, want %d", i, a[i].Cred.UID, want)
+		}
+		if a[i].Spec.ActualMemB == 999 {
+			oom++
+		}
+	}
+	if oom != 3 {
+		t.Errorf("OOM-marked jobs = %d, want 3", oom)
+	}
+}
+
+func TestMixSpecValidate(t *testing.T) {
+	good := MixSpec{Users: 2, JobsPerUser: 5, MinCores: 1, MaxCores: 2, MinDur: 1, MaxDur: 2, MemB: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*MixSpec){
+		"no users":         func(m *MixSpec) { m.Users = 0 },
+		"no jobs":          func(m *MixSpec) { m.JobsPerUser = 0 },
+		"bad kind":         func(m *MixSpec) { m.Kind = "random" },
+		"inverted cores":   func(m *MixSpec) { m.MinCores, m.MaxCores = 3, 1 },
+		"zero duration":    func(m *MixSpec) { m.MinDur = 0 },
+		"zero memory":      func(m *MixSpec) { m.MemB = 0 },
+		"oom without size": func(m *MixSpec) { m.OOMEvery = 5; m.OOMMemB = 0 },
+	} {
+		m := good
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Credential count must match the spec.
+	if _, err := good.Build(metrics.NewRNG(1), []ids.Credential{cred(1)}); err == nil {
+		t.Errorf("credential-count mismatch accepted")
+	}
+}
+
 func TestMixRoundRobin(t *testing.T) {
 	a := Sweep(metrics.NewRNG(1), SweepConfig{User: cred(1000), Jobs: 3, MinCores: 1, MaxCores: 1, MinDur: 1, MaxDur: 1, MemB: 1})
 	b := Sweep(metrics.NewRNG(2), SweepConfig{User: cred(2000), Jobs: 2, MinCores: 1, MaxCores: 1, MinDur: 1, MaxDur: 1, MemB: 1})

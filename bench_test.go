@@ -583,6 +583,36 @@ func BenchmarkFleetCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkTrialLifecycle: the cost of one campaign trial under the
+// two lifecycle strategies — fresh cluster construction per trial
+// (pre-PR5 behaviour, Options.DisablePooling) vs pooled reuse via
+// core.Cluster.Reset. The campaign (fleet.LifecycleCampaign) is
+// construction-heavy and drain-light on purpose: the delta between
+// the two rows IS the lifecycle overhead pooling removes, while the
+// simulation work inside each trial is identical. ns/op and allocs/op
+// here are per trial; the acceptance criterion (≥40% ns, ≥60% allocs
+// reduction) is recorded in BENCH_PR5.json and the allocs half is
+// additionally pinned deterministically by
+// fleet.TestPooledTrialAllocsReduction.
+func BenchmarkTrialLifecycle(b *testing.B) {
+	b.ReportAllocs()
+	for _, mode := range []struct {
+		name    string
+		pooling bool
+	}{{"fresh", false}, {"pooled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			reps := 8
+			camp := fleet.LifecycleCampaign(reps)
+			for i := 0; i < b.N; i += reps {
+				if _, err := fleet.Run(camp, fleet.Options{Workers: 1, Seed: 42, DisablePooling: !mode.pooling}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE16Ablation: the full enhanced-minus-one sweep — ten
 // cluster builds with the complete separation probe battery plus ten
 // E4-style utilization drains. This is the repo's heaviest composite

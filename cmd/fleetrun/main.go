@@ -1,7 +1,7 @@
 // Command fleetrun executes simulation campaigns: grids of
 // independent trials (scenarios × replications) sharded across
-// worker goroutines, with deterministic per-trial seeding and
-// mergeable statistics (internal/fleet).
+// worker goroutines, with deterministic per-trial seeding, pooled
+// per-worker cluster reuse and mergeable statistics (internal/fleet).
 //
 // Run a built-in preset, or a campaign file authored as JSON:
 //
@@ -10,7 +10,13 @@
 //
 // The determinism contract: for a fixed campaign and -seed, the
 // output — including -json bytes — is identical for every -workers
-// value. CI enforces this by diffing -workers 2 against -workers 8.
+// value AND for -pool=true vs -pool=false. CI enforces both by
+// diffing worker counts and pooling modes.
+//
+// Campaign hot spots are measurable without a custom harness:
+//
+//	go run ./cmd/fleetrun -preset e4-policy-grid -cpuprofile cpu.pprof
+//	go tool pprof cpu.pprof
 //
 // Author campaign files by dumping a preset as a template:
 //
@@ -21,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/fleet"
 )
@@ -32,17 +40,20 @@ func main() {
 	dump := flag.Bool("dump", false, "print the selected campaign as JSON (an authoring template) and exit")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); changes wall-clock time, never results")
 	seed := flag.Uint64("seed", 1, "campaign master seed; every trial stream derives from it")
+	pool := flag.Bool("pool", true, "reuse one cluster per (worker, scenario) via Reset; -pool=false builds every trial fresh — wall-clock only, never results")
 	jsonOut := flag.Bool("json", false, "print the result record as JSON instead of the summary table")
 	out := flag.String("out", "", "also write the result JSON to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign run to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this path")
 	flag.Parse()
 
-	if err := run(*preset, *campaignPath, *list, *dump, *workers, *seed, *jsonOut, *out); err != nil {
+	if err := run(*preset, *campaignPath, *list, *dump, *workers, *seed, *pool, *jsonOut, *out, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintf(os.Stderr, "fleetrun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(preset, campaignPath string, list, dump bool, workers int, seed uint64, jsonOut bool, out string) error {
+func run(preset, campaignPath string, list, dump bool, workers int, seed uint64, pool, jsonOut bool, out, cpuprofile, memprofile string) error {
 	if list {
 		for _, c := range fleet.Presets() {
 			fmt.Printf("%-20s %d scenarios, %d trials\n", c.Name, len(c.Scenarios), c.Trials())
@@ -81,10 +92,40 @@ func run(preset, campaignPath string, list, dump bool, workers int, seed uint64,
 		return err
 	}
 
-	res, err := fleet.Run(camp, fleet.Options{Workers: workers, Seed: seed})
+	// The profile brackets exactly the campaign execution: flag
+	// parsing, campaign decoding and result rendering stay outside, so
+	// the profile answers "where do trial cycles go".
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %v", err)
+		}
+	}
+
+	res, err := fleet.Run(camp, fleet.Options{Workers: workers, Seed: seed, DisablePooling: !pool})
+	if cpuprofile != "" {
+		pprof.StopCPUProfile() // stop before rendering so the profile holds trial cycles only
+	}
 	if err != nil {
 		return err
 	}
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // report live objects, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %v", err)
+		}
+	}
+
 	data, err := res.JSON()
 	if err != nil {
 		return err

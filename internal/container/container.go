@@ -63,6 +63,17 @@ func NewRuntime(restrict bool) *Runtime {
 	}
 }
 
+// Reset rewinds the runtime to its freshly-constructed state: imported
+// images and privilege grants are dropped (both are post-construction
+// state — a fresh cluster has neither). The restrict policy, set at
+// construction from the cluster config, survives.
+func (r *Runtime) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clear(r.images)
+	clear(r.allowed)
+}
+
 // Allow grants container privileges to a user.
 func (r *Runtime) Allow(uid ids.UID) {
 	r.mu.Lock()

@@ -170,3 +170,21 @@ func TestNetworkControlsPassThrough(t *testing.T) {
 		t.Errorf("same-user dial from container: %v", err)
 	}
 }
+
+// Reset must drop imported images and privilege grants but keep the
+// restrict policy.
+func TestRuntimeReset(t *testing.T) {
+	r := NewRuntime(true)
+	alice := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	r.ImportImage("img", map[string]string{"/t": "v"})
+	r.Allow(alice.UID)
+	r.Reset()
+	if _, err := r.Image("img"); err == nil {
+		t.Error("image survived Reset")
+	}
+	r.ImportImage("img", nil)
+	node := simos.NewNode("c0", simos.Compute, 4, 1<<30, nil)
+	if _, err := r.Run(alice, node, vfs.NewNamespace(), nil, RunSpec{Image: "img"}); err == nil {
+		t.Error("privilege grant survived Reset under restrict")
+	}
+}

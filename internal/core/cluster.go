@@ -206,7 +206,67 @@ func New(cfg Config, topo Topology) (*Cluster, error) {
 	c.Seepid = procfs.NewSeepid(c.ExemptGID)
 	c.SmaskRelax = vfs.NewSmaskRelax(0o002)
 
+	// The assembled state is the pristine mark Reset rewinds to: the
+	// registry with the escalation groups, the filesystem layout, and
+	// each node's base-daemon process table (marked in simos.NewNode).
+	c.Registry.MarkPristine()
+	c.SharedFS.MarkPristine()
+	for _, fs := range c.LocalFS {
+		fs.MarkPristine()
+	}
+
 	return c, nil
+}
+
+// Reset rewinds the cluster to its pristine post-construction state,
+// the trial-lifecycle contract every owned component implements:
+//
+//   - the logical clock returns to 0;
+//   - the scheduler empties (jobs, queue, calendar, accounting,
+//     aggregates, crash counters) and job numbering restarts;
+//   - every node comes back up with its base-daemon process table and
+//     rewound PID numbering;
+//   - the shared and per-node filesystems roll back to the marked
+//     pristine trees (homes, files, ACLs, quotas all gone);
+//   - the registry drops trial users/groups and rewinds ID numbering;
+//   - the network fabric drops sockets, conntrack and ephemeral ports;
+//   - GPUs are unassigned, cleared, and their /dev nodes re-hidden;
+//   - UBF caches/counters, portal enrolments/sessions/routes and
+//     container images/grants empty out;
+//   - the seepid/smask_relax escalation tools return to their empty
+//     whitelists (AddSupportStaff replaces them wholesale).
+//
+// Configuration and wiring fixed at construction — Cfg, Topo, PAM
+// hooks, firewall hooks, portal forwarding mode, scheduler hooks —
+// survive. After Reset the cluster is observationally equivalent to a
+// fresh New(cfg, topo): identical IDs, PIDs, verdicts and results for
+// any identical sequence of operations. That equivalence is what lets
+// the fleet executor reuse one cluster across a campaign's
+// replications without perturbing a single output byte.
+func (c *Cluster) Reset() error {
+	c.clock.Store(0)
+	c.Sched.Reset()
+	for _, n := range c.Compute {
+		n.Reset()
+	}
+	for _, n := range c.Logins {
+		n.Reset()
+	}
+	c.SharedFS.Reset()
+	for _, fs := range c.LocalFS {
+		fs.Reset()
+	}
+	c.Registry.Reset()
+	c.Net.Reset()
+	if err := c.GPUs.Reset(); err != nil {
+		return err
+	}
+	c.UBF.Reset()
+	c.Portal.Reset()
+	c.Containers.Reset()
+	c.Seepid = procfs.NewSeepid(c.ExemptGID)
+	c.SmaskRelax = vfs.NewSmaskRelax(0o002)
+	return nil
 }
 
 // MustNew is New, panicking on error (for examples and benches where

@@ -46,10 +46,12 @@ func TestCampaignValidate(t *testing.T) {
 		"unknown measure":   func(c *Campaign) { c.Scenarios[0].Ablate = []string{"warp-drive"} },
 		"baseline ablation": func(c *Campaign) { c.Scenarios[1].Ablate = []string{"ubf"} }, // baseline has no measures to drop
 		"unknown policy":    func(c *Campaign) { c.Scenarios[0].Policy = "round-robin" },
-		"bad topology":      func(c *Campaign) { c.Scenarios[0].Topology = core.Topology{ComputeNodes: -1, LoginNodes: 1, CoresPerNode: 1, MemPerNode: 1} },
-		"bad workload":      func(c *Campaign) { c.Scenarios[0].Workload.Users = 0 },
-		"no horizon":        func(c *Campaign) { c.Scenarios[0].Horizon = 0 },
-		"no replications":   func(c *Campaign) { c.Scenarios[0].Replications = 0 },
+		"bad topology": func(c *Campaign) {
+			c.Scenarios[0].Topology = core.Topology{ComputeNodes: -1, LoginNodes: 1, CoresPerNode: 1, MemPerNode: 1}
+		},
+		"bad workload":    func(c *Campaign) { c.Scenarios[0].Workload.Users = 0 },
+		"no horizon":      func(c *Campaign) { c.Scenarios[0].Horizon = 0 },
+		"no replications": func(c *Campaign) { c.Scenarios[0].Replications = 0 },
 	} {
 		c := smokeCampaign()
 		mutate(&c)
@@ -193,5 +195,35 @@ func TestInfeasibleWorkloadRejectedAtLoadTime(t *testing.T) {
 	if err := overMem.Validate(); err == nil ||
 		!strings.Contains(err.Error(), overMem.Scenarios[1].Name) {
 		t.Errorf("over-memory campaign: want contextual validation error, got %v", err)
+	}
+}
+
+// Non-positive replication counts and horizons must be rejected
+// explicitly — naming the field, the scenario and the offending value
+// — and before any profile resolution (an invalid profile must not
+// mask the count error).
+func TestScenarioValidateRejectsDegenerateCounts(t *testing.T) {
+	base := smokeCampaign().Scenarios[0]
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"zero replications", func(s *Scenario) { s.Replications = 0 }, "replications"},
+		{"negative replications", func(s *Scenario) { s.Replications = -3 }, "replications"},
+		{"zero horizon", func(s *Scenario) { s.Horizon = 0 }, "horizon"},
+		{"negative horizon", func(s *Scenario) { s.Horizon = -50 }, "horizon"},
+		{"degenerate count beats bad profile", func(s *Scenario) { s.Replications = -1; s.Profile = "turbo" }, "replications"},
+	} {
+		s := base
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) || !strings.Contains(err.Error(), s.Name) {
+			t.Errorf("%s: error %q does not name the field %q and scenario %q", tc.name, err, tc.want, s.Name)
+		}
 	}
 }

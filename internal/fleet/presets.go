@@ -111,6 +111,29 @@ func e16AblationDrainCampaign() Campaign {
 	return c
 }
 
+// LifecycleCampaign is the construction-heavy, drain-light campaign
+// behind BenchmarkTrialLifecycle and the pooled-allocation gate: a
+// full-size cluster geometry with a short two-user workload, so its
+// per-trial numbers isolate lifecycle cost (construction vs pooled
+// Reset — the thing PR 5 optimizes) from simulation cost (identical
+// either way). Not a listed preset: it measures the executor, not a
+// paper experiment.
+func LifecycleCampaign(replications int) Campaign {
+	return Campaign{
+		Name: "trial-lifecycle",
+		Scenarios: []Scenario{{
+			Name:     "lifecycle/enhanced",
+			Profile:  "enhanced",
+			Topology: core.Topology{ComputeNodes: 16, LoginNodes: 2, CoresPerNode: 16, MemPerNode: 1 << 30, GPUsPerNode: 2},
+			Workload: workload.MixSpec{
+				Users: 2, JobsPerUser: 8,
+				MinCores: 1, MaxCores: 8, MinDur: 1, MaxDur: 3, MemB: 1 << 20,
+			},
+			Horizon: 2000, Replications: replications,
+		}},
+	}
+}
+
 // Presets returns the built-in campaigns, in listing order.
 func Presets() []Campaign {
 	return []Campaign{smokeCampaign(), e4PolicyGridCampaign(), e16AblationDrainCampaign()}

@@ -21,6 +21,14 @@ type Options struct {
 	// Seed is the campaign master seed every trial stream derives
 	// from.
 	Seed uint64
+	// DisablePooling makes every trial construct its own cluster from
+	// scratch instead of reusing a per-worker, per-scenario pooled
+	// cluster via core.Cluster.Reset. Pooling affects wall-clock time
+	// only, never results — output is byte-identical either way (the
+	// Reset contract, pinned by test and CI) — so the switch exists
+	// for exactly two audiences: the lifecycle benchmark and the
+	// determinism gates that prove the equivalence.
+	DisablePooling bool
 }
 
 // ScenarioResult aggregates one scenario's trials with mergeable
@@ -112,6 +120,10 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	comp, err := compileCampaign(c, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -132,6 +144,10 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 
 	// Each worker writes only its own trial's slot, so the slices need
 	// no lock; wg.Wait is the happens-before edge back to the reducer.
+	// Cluster pooling is strictly per worker (each goroutine owns its
+	// pool; pooled clusters are never handed across goroutines), so
+	// trials stay share-nothing and the determinism argument is
+	// untouched by which worker runs which trial.
 	partials := make([]*ScenarioResult, len(trials))
 	errs := make([]error, len(trials))
 	work := make(chan int)
@@ -140,9 +156,10 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			tw := newTrialWorker(comp, !opt.DisablePooling)
 			for ti := range work {
 				ref := trials[ti]
-				partials[ti], errs[ti] = runTrial(c.Scenarios[ref.scenario], ref.rep, opt.Seed)
+				partials[ti], errs[ti] = tw.runTrial(ref.scenario, ref.rep)
 			}
 		}()
 	}
@@ -199,38 +216,147 @@ func ProvisionMix(c *core.Cluster, spec workload.MixSpec, rng *metrics.RNG) ([]w
 	return spec.Build(rng, creds)
 }
 
-// runTrial builds a fresh cluster per the scenario, submits the mix
-// drawn from the trial's own RNG stream, drains up to the horizon
-// and returns a one-trial aggregate.
-func runTrial(s Scenario, rep int, master uint64) (*ScenarioResult, error) {
-	prof, err := core.ProfileByName(s.Profile)
+// compiledScenario is a Scenario with everything trial-invariant
+// resolved up front: the derived Config (profile + ablations + policy
+// override — no per-trial policy re-parsing or profile resolution),
+// the topology, the scenario's RNG stream seed (the FNV hop of
+// TrialSeed, hoisted so the per-trial derivation is two integer ops),
+// and the provisioning user names.
+type compiledScenario struct {
+	spec      *Scenario
+	cfg       core.Config
+	topo      core.Topology
+	stream    uint64   // scenario RNG stream: StreamSeed(master, fnv(Name))
+	userNames []string // "u0".."uN-1", shared read-only across workers
+}
+
+// compileCampaign resolves every scenario once. Campaign.Validate has
+// already dry-run the same resolution, so errors here are unexpected.
+func compileCampaign(c Campaign, master uint64) ([]compiledScenario, error) {
+	comp := make([]compiledScenario, len(c.Scenarios))
+	for i := range c.Scenarios {
+		s := &c.Scenarios[i]
+		prof, err := core.ProfileByName(s.Profile)
+		if err != nil {
+			return nil, err
+		}
+		resolved, topo, err := core.ResolveProfile(prof, s.options()...)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := resolved.Config()
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, s.Workload.Users)
+		for u := range names {
+			names[u] = fmt.Sprintf("u%d", u)
+		}
+		comp[i] = compiledScenario{
+			spec: s, cfg: cfg, topo: topo,
+			stream:    metrics.StreamSeed(master, nameHash(s.Name)),
+			userNames: names,
+		}
+	}
+	return comp, nil
+}
+
+// trialWorker is one worker goroutine's execution state: the pooled
+// cluster and reusable buffers per scenario. Nothing here is shared —
+// each worker builds its own, which is what keeps pooled campaigns
+// race-free by construction (and why the pool is per worker rather
+// than a shared free-list: a cluster crossing goroutines would need
+// locking and would order-couple trials).
+type trialWorker struct {
+	comp    []compiledScenario
+	pooling bool
+	slots   map[int]*scenarioSlot
+	rng     metrics.RNG
+}
+
+// scenarioSlot is the per-(worker, scenario) reuse state.
+type scenarioSlot struct {
+	cluster *core.Cluster // retained across trials only when pooling
+	users   []ids.Credential
+	scratch workload.BuildScratch
+}
+
+func newTrialWorker(comp []compiledScenario, pooling bool) *trialWorker {
+	return &trialWorker{comp: comp, pooling: pooling, slots: make(map[int]*scenarioSlot)}
+}
+
+// trialResult bundles a trial's aggregate with its histogram storage
+// so the whole per-trial record is one allocation.
+type trialResult struct {
+	res    ScenarioResult
+	hist   metrics.Histogram
+	counts [makespanBuckets]int64
+}
+
+// runTrial executes one (scenario, replication) trial: a cluster per
+// the scenario — pooled and Reset, or built fresh — provisioned with
+// the scenario's users, submitted the mix drawn from the trial's own
+// RNG stream, drained up to the horizon, and summarized into a
+// one-trial aggregate.
+func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
+	cs := &w.comp[scenario]
+	s := cs.spec
+	slot := w.slots[scenario]
+	if slot == nil {
+		slot = &scenarioSlot{}
+		w.slots[scenario] = slot
+	}
+	c := slot.cluster
+	if c != nil {
+		if err := c.Reset(); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if c, err = core.New(cs.cfg, cs.topo); err != nil {
+			return nil, err
+		}
+		if w.pooling {
+			slot.cluster = c
+		}
+	}
+
+	// The trial stream depends only on (master, scenario name, rep):
+	// never on the worker, the pool state, or the completion order.
+	w.rng.Reseed(metrics.StreamSeed(cs.stream, uint64(rep)))
+	creds := slot.users[:0]
+	for _, name := range cs.userNames {
+		acct, err := c.AddUser(name, "pw")
+		if err != nil {
+			return nil, err
+		}
+		creds = append(creds, acct.Cred)
+	}
+	slot.users = creds
+	mix, err := s.Workload.BuildInto(&w.rng, creds, &slot.scratch)
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.NewWithProfile(prof, s.options()...)
-	if err != nil {
-		return nil, err
-	}
-	mix, err := ProvisionMix(c, s.Workload, metrics.NewRNG(s.TrialSeed(master, rep)))
-	if err != nil {
-		return nil, err
-	}
-	if _, err := workload.SubmitAll(c.Sched, mix); err != nil {
-		return nil, err
+	for i := range mix {
+		if _, err := c.Sched.Submit(mix[i].Cred, mix[i].Spec); err != nil {
+			return nil, err
+		}
 	}
 	ticks := c.RunAll(s.Horizon)
 	crashes, cofail := c.Sched.Crashes()
 
-	res := &ScenarioResult{
+	tr := &trialResult{}
+	tr.hist = metrics.Histogram{Lo: 0, Hi: float64(s.Horizon), Counts: tr.counts[:]}
+	tr.res = ScenarioResult{
 		Name:         s.Name,
 		Replications: 1,
-		MakespanHist: metrics.NewHistogram(0, float64(s.Horizon), makespanBuckets),
+		MakespanHist: &tr.hist,
 		Crashes:      crashes,
 		Cofailures:   cofail,
 		Unfinished:   len(c.Sched.Squeue(ids.RootCred())), // pending + still-running at the horizon
 	}
-	res.Util.Add(c.Sched.Utilization())
-	res.Makespan.Add(float64(ticks))
-	res.MakespanHist.Add(float64(ticks))
-	return res, nil
+	tr.res.Util.Add(c.Sched.Utilization())
+	tr.res.Makespan.Add(float64(ticks))
+	tr.res.MakespanHist.Add(float64(ticks))
+	return &tr.res, nil
 }

@@ -77,6 +77,17 @@ func (s Scenario) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("fleet: scenario has no name (names key the RNG streams)")
 	}
+	// Degenerate trial counts and horizons are rejected up front —
+	// before any profile resolution — with explicit errors: a zero or
+	// negative Replications would silently produce an empty scenario
+	// result (and a zero-trial campaign), and a non-positive Horizon
+	// would make every trial return without simulating a tick.
+	if s.Replications <= 0 {
+		return fmt.Errorf("fleet: scenario %q: replications must be >= 1 (got %d)", s.Name, s.Replications)
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("fleet: scenario %q: horizon must be >= 1 tick (got %d)", s.Name, s.Horizon)
+	}
 	// The policy must parse before options() may assemble it (options
 	// panics on a bad policy precisely because Validate owns this
 	// error path).
@@ -115,12 +126,6 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("fleet: scenario %q: workload mem_b %d exceeds mem_per_node %d (jobs could never place)",
 			s.Name, s.Workload.MemB, topo.MemPerNode)
 	}
-	if s.Horizon < 1 {
-		return fmt.Errorf("fleet: scenario %q: non-positive horizon %d", s.Name, s.Horizon)
-	}
-	if s.Replications < 1 {
-		return fmt.Errorf("fleet: scenario %q: non-positive replications %d", s.Name, s.Replications)
-	}
 	return nil
 }
 
@@ -155,9 +160,17 @@ func (s Scenario) options() []core.Option {
 // Name, rep): not on worker count, not on scenario order, not on
 // which shard runs the trial.
 func (s Scenario) TrialSeed(master uint64, rep int) uint64 {
+	return metrics.StreamSeed(metrics.StreamSeed(master, nameHash(s.Name)), uint64(rep))
+}
+
+// nameHash is the FNV-1a index of a scenario name into the master
+// stream. The executor hoists it out of the per-trial path (the
+// scenario stream is compiled once per Run); TrialSeed keeps the
+// two-hop derivation as the documented public contract.
+func nameHash(name string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(s.Name))
-	return metrics.StreamSeed(metrics.StreamSeed(master, h.Sum64()), uint64(rep))
+	h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // Validate checks the whole campaign: at least one scenario, unique

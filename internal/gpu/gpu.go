@@ -32,6 +32,7 @@ type Device struct {
 
 	mu       sync.Mutex
 	mem      []byte
+	written  bool    // any byte ever stored; lets Reset skip the memset
 	assigned ids.UID // NoUID when free
 	jobID    int
 }
@@ -84,6 +85,7 @@ func (d *Device) Write(cred ids.Credential, offset int, data []byte) error {
 		return fmt.Errorf("%w: [%d,%d)", ErrOOB, offset, offset+len(data))
 	}
 	copy(d.mem[offset:], data)
+	d.written = true
 	return nil
 }
 
@@ -101,13 +103,19 @@ func (d *Device) Read(cred ids.Credential, offset, length int) ([]byte, error) {
 	return append([]byte(nil), d.mem[offset:offset+length]...), nil
 }
 
-// clear zeroes device memory — the vendor-provided epilog step.
+// clear zeroes device memory — the vendor-provided epilog step. A
+// device nothing ever wrote to is already zero, so the memset is
+// skipped (the epilog's cost stays proportional to actual use).
 func (d *Device) clear() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if !d.written {
+		return
+	}
 	for i := range d.mem {
 		d.mem[i] = 0
 	}
+	d.written = false
 }
 
 // Assigned returns the currently assigned user (NoUID if free).
@@ -150,6 +158,34 @@ func NewManager(nodes []*simos.Node, gpusPerNode int, assignPerms, clearOnReleas
 		}
 	}
 	return m
+}
+
+// Reset rewinds every device to its freshly-constructed state: memory
+// zeroed (skipped for devices never written to), assignment dropped,
+// and the /dev node restored to the pristine ownership — invisible
+// (root:root 000) under AssignDevPerms, world-accessible (0666)
+// otherwise. The node's /dev entries themselves persist from
+// construction; only their ownership is rewound here.
+func (m *Manager) Reset() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mode := uint32(0o000)
+	if !m.AssignDevPerms {
+		mode = 0o666
+	}
+	for _, devs := range m.byNode {
+		for _, d := range devs {
+			d.mu.Lock()
+			d.assigned = ids.NoUID
+			d.jobID = 0
+			d.mu.Unlock()
+			d.clear()
+			if err := d.node.ChownDev(ids.RootCred(), d.DevPath, ids.Root, ids.RootGroup, mode); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Devices returns the devices on a node.

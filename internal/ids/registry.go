@@ -19,6 +19,10 @@ type Registry struct {
 	byName  map[string]UID
 	groups  map[GID]*Group
 	gByName map[string]GID
+	// Pristine mark for the trial-lifecycle Reset contract (see
+	// MarkPristine): a deep copy of the tables, so Reset can rewind
+	// users, groups, memberships and ID numbering to the mark.
+	pristine *Registry
 }
 
 // Registry errors.
@@ -51,6 +55,95 @@ func NewRegistry() *Registry {
 	r.users[Root] = &User{UID: Root, Name: "root", Primary: RootGroup, HomePath: "/root"}
 	r.byName["root"] = Root
 	return r
+}
+
+// cloneGroup deep-copies a group — the single copy site both the
+// pristine snapshot and Reset's reinstall use, so a future Group
+// field cannot be deep-copied in one and aliased in the other.
+func cloneGroup(g *Group) *Group {
+	members := make(map[UID]bool, len(g.members))
+	for uid := range g.members {
+		members[uid] = true
+	}
+	return &Group{
+		GID: g.GID, Name: g.Name, Private: g.Private,
+		Stewards: append([]UID(nil), g.Stewards...),
+		members:  members,
+	}
+}
+
+// snapshotLocked deep-copies the registry tables into a bare Registry
+// value (no lock use, no nested pristine). Group membership maps and
+// steward slices are copied; *User entries are shared, since users are
+// immutable once created. Caller holds r.mu.
+func (r *Registry) snapshotLocked() *Registry {
+	s := &Registry{
+		nextUID: r.nextUID,
+		nextGID: r.nextGID,
+		users:   make(map[UID]*User, len(r.users)),
+		byName:  make(map[string]UID, len(r.byName)),
+		groups:  make(map[GID]*Group, len(r.groups)),
+		gByName: make(map[string]GID, len(r.gByName)),
+	}
+	for uid, u := range r.users {
+		s.users[uid] = u
+	}
+	for name, uid := range r.byName {
+		s.byName[name] = uid
+	}
+	for gid, g := range r.groups {
+		s.groups[gid] = cloneGroup(g)
+	}
+	for name, gid := range r.gByName {
+		s.gByName[name] = gid
+	}
+	return s
+}
+
+// MarkPristine records the registry's current state as the target of
+// Reset. The cluster assembly calls it after creating the escalation
+// groups, so Reset rewinds to "root plus the standard groups" — and
+// the first AddUser after a Reset hands out the same UID/GID a fresh
+// cluster would.
+func (r *Registry) MarkPristine() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pristine = r.snapshotLocked()
+}
+
+// Reset rewinds the registry to the MarkPristine state (or to the
+// NewRegistry state if no mark was taken): users and groups created
+// since are dropped, membership changes to pristine groups are rolled
+// back, and ID numbering restarts at the marked counters.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src := r.pristine
+	if src == nil {
+		fresh := NewRegistry()
+		fresh.mu.Lock()
+		src = fresh.snapshotLocked()
+		fresh.mu.Unlock()
+	}
+	r.nextUID, r.nextGID = src.nextUID, src.nextGID
+	clear(r.users)
+	clear(r.byName)
+	clear(r.groups)
+	clear(r.gByName)
+	for uid, u := range src.users {
+		r.users[uid] = u
+	}
+	for name, uid := range src.byName {
+		r.byName[name] = uid
+	}
+	// Groups are reinstalled as fresh copies: the pristine mark must
+	// survive membership mutations of the *next* trial too.
+	for gid, g := range src.groups {
+		r.groups[gid] = cloneGroup(g)
+	}
+	for name, gid := range src.gByName {
+		r.gByName[name] = gid
+	}
 }
 
 // AddUser creates a user plus their user-private group (same name).

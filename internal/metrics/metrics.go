@@ -168,6 +168,12 @@ const splitmixGamma = 0x9e3779b97f4a7c15
 // NewRNG seeds a generator.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// Reseed rewinds the generator to the given seed in place, so hot
+// paths (the fleet trial loop) can reuse one RNG value per worker
+// instead of allocating a fresh generator per trial. After
+// r.Reseed(s), r's draw sequence is exactly NewRNG(s)'s.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // Uint64 returns the next value.
 func (r *RNG) Uint64() uint64 {
 	r.state += splitmixGamma

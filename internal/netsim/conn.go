@@ -241,6 +241,12 @@ func (ct *conntrack) remove(f FlowTuple) {
 	ct.mu.Unlock()
 }
 
+func (ct *conntrack) reset() {
+	ct.mu.Lock()
+	clear(ct.flows)
+	ct.mu.Unlock()
+}
+
 func (ct *conntrack) established(f FlowTuple) bool {
 	ct.mu.RLock()
 	defer ct.mu.RUnlock()

@@ -167,6 +167,19 @@ func (n *Network) ResetStats() {
 	n.NewConnDropped.Store(0)
 }
 
+// Reset rewinds the fabric to its freshly-wired state: every host's
+// sockets, conntrack entries, ephemeral ports and abstract sockets are
+// dropped and the stats counters zeroed. Host membership and firewall
+// hooks survive — they are cluster-assembly wiring, not traffic state.
+func (n *Network) Reset() {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, h := range n.hosts {
+		h.Reset()
+	}
+	n.ResetStats()
+}
+
 type portKey struct {
 	proto Proto
 	port  int
@@ -199,6 +212,20 @@ func (h *Host) SetFirewall(hook HookFunc, portFilter func(port int) bool) {
 	defer h.mu.Unlock()
 	h.hook = hook
 	h.hookPorts = portFilter
+}
+
+// Reset drops the host's dynamic socket state — listeners, conntrack
+// entries, ephemeral port bindings, abstract sockets — and rewinds the
+// ephemeral port counter, keeping the installed firewall hook. All
+// existing allocations (the maps) are reused.
+func (h *Host) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	clear(h.listeners)
+	h.conntrack.reset()
+	h.nextEphem = 32768
+	clear(h.ephemeral)
+	clear(h.abstract)
 }
 
 // ClearFirewall removes the hook (baseline configuration).

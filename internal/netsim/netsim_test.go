@@ -344,3 +344,46 @@ func TestResetStats(t *testing.T) {
 		t.Errorf("stats not reset")
 	}
 }
+
+// Network.Reset must drop sockets, conntrack, ephemeral ports and
+// abstract sockets while preserving installed firewalls.
+func TestNetworkReset(t *testing.T) {
+	n := NewNetwork()
+	h1, h2 := n.AddHost("a"), n.AddHost("b")
+	alice := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	denyAll := func(net *Network, f FlowTuple) Verdict { return Drop }
+	h2.SetFirewall(denyAll, func(port int) bool { return port >= 20000 })
+	l, err := h2.Listen(alice, TCP, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := h1.Dial(alice, TCP, "b", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.ListenAbstract(alice, "coord"); err != nil {
+		t.Fatal(err)
+	}
+	n.Reset()
+	if n.NewConnAccepted.Load() != 0 || n.PacketsDelivered.Load() != 0 {
+		t.Error("stats survived Reset")
+	}
+	if err := conn.Send([]byte("x")); err == nil {
+		t.Error("pre-reset connection still in conntrack")
+	}
+	if _, err := h1.Dial(alice, TCP, "b", 9000); err == nil {
+		t.Error("pre-reset listener survived Reset")
+	}
+	if err := h2.DialAbstract(alice, "coord", []byte("x")); err == nil {
+		t.Error("abstract socket survived Reset")
+	}
+	// The firewall hook survives (assembly wiring): a fresh listener on
+	// an inspected port is still filtered.
+	if _, err := h2.Listen(alice, TCP, 20001); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.Dial(alice, TCP, "b", 20001); err == nil {
+		t.Error("firewall hook lost across Reset")
+	}
+	_ = l
+}

@@ -79,6 +79,21 @@ func (p *Portal) SetTunnelMode(on bool) {
 	p.tunnel = on
 }
 
+// Reset rewinds the portal to its freshly-constructed state:
+// enrolments, sessions and routes are dropped and the session token
+// counter restarts, so a reset portal hands out the same token strings
+// a fresh one would. The forwarding mode (SetTunnelMode) survives — it
+// is cluster-assembly configuration, set from Config at construction,
+// not per-trial state.
+func (p *Portal) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	clear(p.secrets)
+	clear(p.sessions)
+	clear(p.routes)
+	p.nextTok = 0
+}
+
 // Enroll registers a user's portal password (site SSO enrolment).
 func (p *Portal) Enroll(uid ids.UID, password string) {
 	p.mu.Lock()

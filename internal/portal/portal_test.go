@@ -230,3 +230,37 @@ func TestTunnelModeForwardsAsRouteOwner(t *testing.T) {
 		t.Errorf("unauthenticated tunnel forward err = %v, want 401", err)
 	}
 }
+
+// Reset must drop enrolments, sessions and routes and rewind the token
+// counter so a reset portal issues the same tokens a fresh one would.
+func TestPortalReset(t *testing.T) {
+	n := netsim.NewNetwork()
+	p := New(n.AddHost("portal"))
+	alice := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	p.Enroll(alice.UID, "pw")
+	tok1, err := p.Login(alice, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(alice, "/app", "c00", 8888); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if _, err := p.Login(alice, "pw"); err == nil {
+		t.Error("enrolment survived Reset")
+	}
+	if routes := p.Routes(ids.RootCred()); len(routes) != 0 {
+		t.Errorf("routes %v survived Reset", routes)
+	}
+	if _, err := p.Forward(tok1, "/app", nil); err == nil {
+		t.Error("stale session token still valid after Reset")
+	}
+	p.Enroll(alice.UID, "pw")
+	tok2, err := p.Login(alice, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok2 != tok1 {
+		t.Errorf("token counter did not rewind: %q vs %q", tok2, tok1)
+	}
+}

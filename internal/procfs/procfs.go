@@ -36,6 +36,14 @@
 // observer is actually allowed to read — under hidepid=2 a foreign
 // observer's `ps` pass allocates nothing at all, and denied
 // Stat/ReadCmdline probes are allocation-free.
+//
+// # Trial-lifecycle Reset contract
+//
+// A Mount is a stateless view: its only fields are the mount options
+// (HidePID, ExemptGID — fixed at cluster assembly) and the table it
+// wraps. Rewinding a cluster to its pristine state therefore needs no
+// procfs-side work beyond resetting the underlying simos.Table; the
+// mount then serves the pristine process set with unchanged options.
 package procfs
 
 import (

@@ -61,6 +61,19 @@ func newCapScope(maxGPUs int) *capScope {
 	return sc
 }
 
+// reset empties the scope in place (keeping its allocations) so it can
+// be re-enrolled from scratch — the Scheduler.Reset path.
+func (sc *capScope) reset() {
+	sc.freeCores = 0
+	sc.emptyNodes = 0
+	sc.emptyCores = 0
+	clear(sc.userFree)
+	sc.maxNodeMemB = 0
+	for i := range sc.gpuAtLeast {
+		sc.gpuAtLeast[i] = 0
+	}
+}
+
 // enroll adds a member node's static quantities and current
 // contribution to the scope. Caller holds s.mu.
 func (sc *capScope) enroll(ns *nodeState) {

@@ -180,6 +180,60 @@ func New(cfg Config, nodes []*simos.Node, gpusPerNode int) *Scheduler {
 	return s
 }
 
+// Reset rewinds the scheduler to its freshly-constructed state: time
+// and job/array numbering restart, the pending queue, running index,
+// completion calendar, accounting records, per-user activity counts
+// and crash counters empty out, every node's allocations clear, and
+// the capacity aggregates are rebuilt over the (again empty) nodes.
+// Post-construction configuration is part of the state being rewound:
+// partitions registered via AddPartition and the SetUserLimit cap are
+// dropped, exactly as if the scheduler had just come out of New.
+// Cluster-assembly wiring survives: the pam_slurm node hooks New
+// installs and the prolog/epilog hooks registered while the cluster
+// was assembled (the GPU manager's) stay in place. The method
+// reuses every existing allocation (maps are cleared, slices
+// truncated), so a Reset on a drained scheduler allocates nothing
+// beyond the rebuilt default scope membership.
+func (s *Scheduler) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = 0
+	s.nextID = 1
+	s.nextArray = 1
+	s.userLimit = 0
+	s.queue.Init()
+	clear(s.queueElem)
+	clear(s.jobs)
+	s.runningSorted = s.runningSorted[:0]
+	s.calendar = s.calendar[:0]
+	s.due = s.due[:0]
+	clear(s.activeByUser)
+	s.records = s.records[:0]
+	s.partitions = nil
+	s.queueBlocked = false
+	s.armedNodes = 0
+	for i := range s.lastDown {
+		s.lastDown[i] = false
+	}
+	s.busyCores, s.busyCoreTicks, s.totalCoreTicks = 0, 0, 0
+	s.crashes, s.cofailures = 0, 0
+	for _, ns := range s.nodes {
+		ns.usedCores, ns.usedMem, ns.usedGPUs = 0, 0, 0
+		clear(ns.jobs)
+		clear(ns.users)
+		ns.memCommit, ns.overCount = 0, 0
+		ns.scopes = ns.scopes[:0]
+	}
+	s.defaultScope.reset()
+	for _, ns := range s.nodes {
+		if ns.node.Kind != simos.Compute {
+			continue
+		}
+		s.defaultScope.enroll(ns)
+		ns.scopes = append(ns.scopes, s.defaultScope)
+	}
+}
+
 // pamSlurmHook implements pam_slurm: allow login only with a running
 // job on the node (paper §IV-B).
 func (s *Scheduler) pamSlurmHook() simos.PAMHook {

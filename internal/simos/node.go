@@ -89,12 +89,32 @@ func NewNode(name string, kind NodeKind, cores int, memB int64, clock func() int
 		dev:   make(map[string]*DevNode),
 		clock: clock,
 	}
-	// Baseline daemons every Linux node runs; these are what users see
-	// in `ps` when hidepid is off.
+	n.spawnBaseDaemons()
+	// The pristine mark is the three base daemons (PIDs 1..3): Reset
+	// rewinds the process table to exactly this state.
+	n.Procs.MarkPristine()
+	return n
+}
+
+// spawnBaseDaemons starts the baseline daemons every Linux node runs;
+// these are what users see in `ps` when hidepid is off.
+func (n *Node) spawnBaseDaemons() {
 	n.Procs.SpawnDaemon("systemd")
 	n.Procs.SpawnDaemon("sshd")
 	n.Procs.SpawnDaemon("slurmd", "-D")
-	return n
+}
+
+// Reset rewinds the node to its freshly-constructed state: up (not
+// crashed), process table back to the pristine base-daemon set with
+// PID numbering rewound. Construction-time wiring survives: PAM hooks
+// stay registered (the scheduler installs them once, at its own
+// construction) and /dev nodes stay present — their ownership is
+// restored by the GPU manager's Reset, which knows the pristine modes.
+func (n *Node) Reset() {
+	n.mu.Lock()
+	n.downAt = 0
+	n.mu.Unlock()
+	n.Procs.Reset()
 }
 
 // AddPAMHook appends a module to the login stack.
@@ -217,9 +237,7 @@ func (n *Node) Restore() {
 	n.mu.Lock()
 	n.downAt = 0
 	n.mu.Unlock()
-	n.Procs.SpawnDaemon("systemd")
-	n.Procs.SpawnDaemon("sshd")
-	n.Procs.SpawnDaemon("slurmd", "-D")
+	n.spawnBaseDaemons()
 }
 
 // Down reports whether the node has crashed.

@@ -87,6 +87,14 @@ type Table struct {
 	gen     uint64     // bumped on every mutation
 	snap    []*Process // cached PID-sorted snapshot, shared with readers
 	snapGen uint64     // generation snap was built at; valid iff == gen
+	// Pristine mark for the trial-lifecycle Reset contract: the entry
+	// set, PID counter and generation recorded by MarkPristine. Because
+	// published entries are immutable (mutations are copy-on-write),
+	// the mark can share *Process pointers with the live map — pointer
+	// equality at Reset time proves an entry is untouched.
+	pristine    map[ids.PID]*Process
+	pristinePID ids.PID
+	pristineGen uint64
 }
 
 // Process-table errors.
@@ -107,6 +115,68 @@ func NewTable(clock func() int64) *Table {
 // dirtyLocked marks the published snapshot stale. Caller holds t.mu
 // for writing.
 func (t *Table) dirtyLocked() { t.gen++ }
+
+// MarkPristine records the table's current state as the target of
+// Reset. Entries are shared by pointer with the live map: the table's
+// copy-on-write contract (published entries are immutable) makes the
+// shared mark exact without cloning anything.
+func (t *Table) MarkPristine() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pristine = make(map[ids.PID]*Process, len(t.procs))
+	for pid, p := range t.procs {
+		t.pristine[pid] = p
+	}
+	t.pristinePID = t.nextPID
+	t.pristineGen = t.gen
+}
+
+// Reset rewinds the table to the state MarkPristine recorded (or to
+// empty, if no mark was taken): the pristine entry set is reinstalled,
+// the PID counter restarts so respawned processes get the same PIDs a
+// fresh table would hand out, and the generation drops back to the
+// mark so the table is indistinguishable from a newly constructed one.
+// The fast path — nothing spawned, exited or mutated since the mark —
+// is a pointer-equality sweep that allocates nothing. Snapshots handed
+// out before the Reset stay valid (immutably stale), like snapshots
+// taken before any other mutation.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.procs) == len(t.pristine) {
+		same := true
+		for pid, p := range t.pristine {
+			if t.procs[pid] != p {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.nextPID = t.pristinePID
+			if t.nextPID == 0 {
+				t.nextPID = 1
+			}
+			// Rewinding gen invalidates the snapshot cache explicitly:
+			// a snapshot cached at a post-mark generation would otherwise
+			// be served again when the counter climbs back to that value.
+			t.gen = t.pristineGen
+			t.snap = nil
+			t.snapGen = 0
+			return
+		}
+	}
+	clear(t.procs)
+	for pid, p := range t.pristine {
+		t.procs[pid] = p
+	}
+	t.nextPID = t.pristinePID
+	if t.nextPID == 0 {
+		t.nextPID = 1 // no mark taken: empty table, PIDs restart at 1
+	}
+	t.gen = t.pristineGen
+	t.snap = nil
+	t.snapGen = 0
+}
 
 // Generation returns the table's mutation counter. Two equal
 // Generation readings bracket a window in which no mutation happened

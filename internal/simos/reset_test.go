@@ -1,0 +1,153 @@
+package simos
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// The Table Reset contract: after Reset, the table is observationally
+// equivalent to the state at MarkPristine — same entries, same next
+// PID, same generation.
+
+func TestTableResetRewindsToMark(t *testing.T) {
+	tab := NewTable(nil)
+	d1 := tab.SpawnDaemon("systemd")
+	d2 := tab.SpawnDaemon("sshd")
+	tab.MarkPristine()
+	genAtMark := tab.Generation()
+
+	u := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	p := tab.Spawn(u, 1, "work", "--secret")
+	if err := tab.SetRSS(p.PID, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Exit(d2.PID); err != nil {
+		t.Fatal(err)
+	}
+	tab.Reset()
+
+	if got := tab.Generation(); got != genAtMark {
+		t.Errorf("generation %d after Reset, want the mark's %d", got, genAtMark)
+	}
+	all := tab.All()
+	if len(all) != 2 || all[0].PID != d1.PID || all[1].PID != d2.PID {
+		t.Fatalf("reset table = %v, want the two pristine daemons", all)
+	}
+	// PID numbering rewinds: the next spawn gets the PID a fresh
+	// post-mark table would hand out.
+	np := tab.Spawn(u, 1, "work")
+	if np.PID != p.PID {
+		t.Errorf("post-reset spawn got PID %d, want %d (numbering rewound)", np.PID, p.PID)
+	}
+}
+
+func TestTableResetFastPathKeepsEntries(t *testing.T) {
+	tab := NewTable(nil)
+	tab.SpawnDaemon("systemd")
+	tab.MarkPristine()
+	before := tab.All()
+	tab.Reset() // nothing changed since the mark
+	after := tab.All()
+	if len(after) != 1 || after[0] != before[0] {
+		t.Error("untouched table should keep its shared entries across Reset")
+	}
+	// The fast path must still rewind the PID counter after spawns
+	// that net out to the pristine set... which they cannot without
+	// touching entries; but spawn+exit of the same PID changes the
+	// pointer set, so the slow path catches it:
+	u := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	p := tab.Spawn(u, 1, "x")
+	_ = tab.Exit(p.PID)
+	tab.Reset()
+	if np := tab.Spawn(u, 1, "x"); np.PID != p.PID {
+		t.Errorf("PID %d after spawn/exit/reset, want %d", np.PID, p.PID)
+	}
+}
+
+func TestTableResetWithoutMarkEmpties(t *testing.T) {
+	tab := NewTable(nil)
+	u := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	tab.Spawn(u, 1, "x")
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("unmarked table has %d entries after Reset, want 0", tab.Len())
+	}
+	if p := tab.Spawn(u, 1, "x"); p.PID != 1 {
+		t.Errorf("first PID after unmarked Reset = %d, want 1", p.PID)
+	}
+}
+
+// Node.Reset must recover the construction state even after the
+// harshest trial history: a crash (which kills the daemons) plus a
+// restore (which respawns them under new PIDs).
+func TestNodeResetAfterCrashRestore(t *testing.T) {
+	fresh := NewNode("c0", Compute, 4, 1<<30, nil)
+	n := NewNode("c0", Compute, 4, 1<<30, nil)
+
+	u := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	if _, err := n.Login(u); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash()
+	n.Restore()
+	if got := n.Procs.All(); len(got) == 0 || got[0].PID == 1 {
+		t.Fatalf("restore should have respawned daemons under new PIDs, got %v", got)
+	}
+	n.Reset()
+
+	if n.Down() {
+		t.Error("node still down after Reset")
+	}
+	want := fresh.Procs.All()
+	got := n.Procs.All()
+	if len(got) != len(want) {
+		t.Fatalf("reset node has %d processes, fresh has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].PID != want[i].PID || got[i].Comm != want[i].Comm {
+			t.Errorf("proc %d: got (pid %d, %s), fresh (pid %d, %s)",
+				i, got[i].PID, got[i].Comm, want[i].PID, want[i].Comm)
+		}
+	}
+	// And the next spawn matches a fresh node's next spawn.
+	gp, fp := n.Procs.Spawn(u, 1, "x"), fresh.Procs.Spawn(u, 1, "x")
+	if gp.PID != fp.PID {
+		t.Errorf("post-reset PID %d, fresh %d", gp.PID, fp.PID)
+	}
+}
+
+// Regression: Reset's fast path must invalidate the snapshot cache.
+// A snapshot cached at a post-mark generation must never be served
+// again when the rewound counter climbs back to the same value.
+func TestTableResetFastPathInvalidatesSnapshotCache(t *testing.T) {
+	tab := NewTable(nil)
+	tab.SpawnDaemon("systemd")
+	tab.MarkPristine()
+	u := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+
+	// Trial 1: spawn (gen+1), cache a snapshot holding the job, exit
+	// (gen+2) — the map is now pointer-identical to pristine, so Reset
+	// takes the fast path.
+	p := tab.Spawn(u, 1, "trial1-job")
+	if got := tab.All(); len(got) != 2 {
+		t.Fatalf("trial 1 snapshot has %d procs, want 2", len(got))
+	}
+	if err := tab.Exit(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	tab.Reset()
+
+	// Trial 2: the first spawn lands on the same generation the stale
+	// snapshot was cached at; All must show trial 2's process, not
+	// trial 1's.
+	p2 := tab.Spawn(u, 1, "trial2-job")
+	got := tab.All()
+	if len(got) != 2 || got[1].PID != p2.PID || got[1].Comm != "trial2-job" {
+		names := make([]string, len(got))
+		for i, pp := range got {
+			names[i] = pp.Comm
+		}
+		t.Fatalf("post-reset snapshot shows %v — stale trial-1 snapshot served", names)
+	}
+}

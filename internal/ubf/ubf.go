@@ -175,6 +175,24 @@ func (d *Daemon) record(f netsim.FlowTuple, src, dst ids.UID, egid ids.GID, v ne
 	}
 }
 
+// Reset rewinds the daemon to its freshly-constructed state: the
+// verdict cache, all counters and the audit trail (including the
+// enable flag — EnableAudit is post-construction state) are cleared.
+// The configuration and any hooks already installed on hosts survive:
+// the hook closure reads the daemon's live state, so a reset daemon
+// keeps filtering with empty caches, exactly like a fresh one.
+func (d *Daemon) Reset() {
+	d.mu.Lock()
+	clear(d.cache)
+	d.trail = nil
+	d.trailEnable = false
+	d.mu.Unlock()
+	d.Decisions.Store(0)
+	d.CacheHits.Store(0)
+	d.Allowed.Store(0)
+	d.Denied.Store(0)
+}
+
 // FlushCache clears the verdict cache (e.g. after group-membership
 // changes; the production daemon uses a TTL).
 func (d *Daemon) FlushCache() {

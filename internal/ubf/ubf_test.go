@@ -273,3 +273,42 @@ func TestQuickDecisionMatchesPredicate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Reset must empty the cache, counters and trail while keeping the
+// daemon's installed hooks working.
+func TestDaemonReset(t *testing.T) {
+	n := netsim.NewNetwork()
+	h1, h2 := n.AddHost("a"), n.AddHost("b")
+	d := New(Config{AllowGroupPeers: true, CacheVerdicts: true})
+	d.EnableAudit()
+	d.InstallOn(h2)
+	alice := ids.Credential{UID: 1000, EGID: 1000, Groups: []ids.GID{1000}}
+	if _, err := h2.Listen(alice, netsim.TCP, 9000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := h1.Dial(alice, netsim.TCP, "b", 9000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.CacheHits.Load() == 0 || len(d.Audit()) == 0 {
+		t.Fatal("expected cache hits and a trail before Reset")
+	}
+	d.Reset()
+	if d.Decisions.Load() != 0 || d.CacheHits.Load() != 0 || d.Allowed.Load() != 0 || d.Denied.Load() != 0 {
+		t.Error("counters survived Reset")
+	}
+	if len(d.Audit()) != 0 {
+		t.Error("audit trail survived Reset")
+	}
+	// The installed hook still decides — with a cold cache.
+	if _, err := h1.Dial(alice, netsim.TCP, "b", 9000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Decisions.Load() != 1 || d.CacheHits.Load() != 0 {
+		t.Errorf("post-reset decision path wrong: %d decisions, %d hits", d.Decisions.Load(), d.CacheHits.Load())
+	}
+	if len(d.Audit()) != 0 {
+		t.Error("audit re-enabled itself after Reset (EnableAudit is post-construction state)")
+	}
+}

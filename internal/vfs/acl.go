@@ -64,6 +64,7 @@ func (a *ACL) groupEntry(gid ids.GID) (uint32, bool) {
 func (fs *FS) SetfaclGroup(ctx Context, path string, gid ids.GID, bits uint32) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	n, err := fs.walk(ctx, path)
 	if err != nil {
 		return err
@@ -107,6 +108,7 @@ func (fs *FS) SetfaclGroup(ctx Context, path string, gid ids.GID, bits uint32) e
 func (fs *FS) SetfaclUser(ctx Context, path string, uid ids.UID, bits uint32) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	n, err := fs.walk(ctx, path)
 	if err != nil {
 		return err
@@ -150,6 +152,7 @@ func (fs *FS) Getfacl(ctx Context, path string) (*ACL, error) {
 func (fs *FS) RemoveACL(ctx Context, path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	n, err := fs.walk(ctx, path)
 	if err != nil {
 		return err

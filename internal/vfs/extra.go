@@ -30,6 +30,7 @@ const maxSymlinkHops = 40
 func (fs *FS) Symlink(ctx Context, target, linkPath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	dir, name, err := fs.walkParent(ctx, linkPath)
 	if err != nil {
 		return err
@@ -152,6 +153,7 @@ func (fs *FS) WriteFileFollow(ctx Context, path string, data []byte, mode uint32
 func (fs *FS) Rename(ctx Context, oldPath, newPath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	oldDir, oldName, err := fs.walkParent(ctx, oldPath)
 	if err != nil {
 		return err
@@ -193,6 +195,7 @@ func (fs *FS) Rename(ctx Context, oldPath, newPath string) error {
 func (fs *FS) SetQuota(uid ids.UID, limit int64) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	if fs.quota == nil {
 		fs.quota = make(map[ids.UID]int64)
 	}

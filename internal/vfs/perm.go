@@ -75,6 +75,7 @@ func (fs *FS) Access(ctx Context, path string, want uint32) error {
 func (fs *FS) Chmod(ctx Context, path string, mode uint32) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	n, err := fs.walk(ctx, path)
 	if err != nil {
 		return err
@@ -100,6 +101,7 @@ func (fs *FS) Chmod(ctx Context, path string, mode uint32) error {
 func (fs *FS) Chown(ctx Context, path string, owner ids.UID, group ids.GID) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	n, err := fs.walk(ctx, path)
 	if err != nil {
 		return err

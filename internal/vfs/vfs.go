@@ -138,21 +138,100 @@ type FS struct {
 	root   *inode
 	quota  map[ids.UID]int64 // per-user byte limits (0 entries = unlimited)
 	usage  map[ids.UID]int64 // per-user bytes charged
+	// Pristine snapshot for the trial-lifecycle Reset contract: a deep
+	// copy of the tree (plus quota/usage) taken by MarkPristine, plus a
+	// dirty flag every mutating entry point sets so Reset on an
+	// untouched mount is a no-op.
+	pristine *fsSnapshot
+	dirty    bool
 }
+
+// fsSnapshot is the state MarkPristine captures.
+type fsSnapshot struct {
+	root  *inode
+	quota map[ids.UID]int64
+	usage map[ids.UID]int64
+}
+
+// deepCopy clones the inode subtree. ACLs and file data are copied;
+// the result shares nothing with the original.
+func (n *inode) deepCopy() *inode {
+	c := &inode{name: n.name, typ: n.typ, owner: n.owner, group: n.group, mode: n.mode}
+	if n.data != nil {
+		c.data = append([]byte(nil), n.data...)
+	}
+	if n.children != nil {
+		c.children = make(map[string]*inode, len(n.children))
+		for name, child := range n.children {
+			c.children[name] = child.deepCopy()
+		}
+	}
+	c.acl = n.acl.Clone()
+	return c
+}
+
+// MarkPristine records the mount's current tree, quotas and usage as
+// the target of Reset. The cluster assembly calls it once its layout
+// (/home, /scratch, /proj, the per-node tmp dirs) is in place.
+func (fs *FS) MarkPristine() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.pristine = &fsSnapshot{root: fs.root.deepCopy(), quota: cloneQuota(fs.quota), usage: cloneQuota(fs.usage)}
+	fs.dirty = false
+}
+
+// Reset restores the mount to the MarkPristine state (or to the empty
+// post-New tree if no mark was taken), rolling back every mutation
+// since: files, directories, symlinks, mode/owner changes, ACLs,
+// quotas and usage. A mount with no mutations since the mark is left
+// untouched — the common case for the per-node /tmp mounts between
+// pooled trials.
+func (fs *FS) Reset() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.dirty {
+		return
+	}
+	if fs.pristine == nil {
+		fs.root = newRoot()
+		fs.quota, fs.usage = nil, nil
+	} else {
+		fs.root = fs.pristine.root.deepCopy()
+		fs.quota = cloneQuota(fs.pristine.quota)
+		fs.usage = cloneQuota(fs.pristine.usage)
+	}
+	fs.dirty = false
+}
+
+func cloneQuota(m map[ids.UID]int64) map[ids.UID]int64 {
+	if m == nil {
+		return nil
+	}
+	c := make(map[ids.UID]int64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// dirtyLocked flags the mount as mutated since the pristine mark.
+// Caller holds fs.mu for writing; every mutating entry point calls it
+// before touching the tree (flagging on a failed attempt is fine —
+// the flag is a may-have-changed bound, and Reset stays exact).
+func (fs *FS) dirtyLocked() { fs.dirty = true }
 
 // New creates an empty filesystem whose root is owned by root with
 // mode 0755. reg is consulted for ACL membership checks; it may be
 // nil if Policy.ACLRestrict is false.
 func New(name string, policy Policy, reg *ids.Registry) *FS {
-	return &FS{
-		Name:   name,
-		Policy: policy,
-		reg:    reg,
-		root: &inode{
-			name: "/", typ: TypeDir,
-			owner: ids.Root, group: ids.RootGroup, mode: 0o755,
-			children: make(map[string]*inode),
-		},
+	return &FS{Name: name, Policy: policy, reg: reg, root: newRoot()}
+}
+
+func newRoot() *inode {
+	return &inode{
+		name: "/", typ: TypeDir,
+		owner: ids.Root, group: ids.RootGroup, mode: 0o755,
+		children: make(map[string]*inode),
 	}
 }
 
@@ -250,6 +329,7 @@ func (fs *FS) Mkdir(ctx Context, path string, mode uint32) error {
 }
 
 func (fs *FS) mkdirLocked(ctx Context, path string, mode uint32) error {
+	fs.dirtyLocked()
 	dir, name, err := fs.walkParent(ctx, path)
 	if err != nil {
 		return err
@@ -298,6 +378,7 @@ func (fs *FS) MkdirAll(ctx Context, path string, mode uint32) error {
 func (fs *FS) WriteFile(ctx Context, path string, data []byte, mode uint32) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	dir, name, err := fs.walkParent(ctx, path)
 	if err != nil {
 		return err
@@ -355,6 +436,7 @@ func (fs *FS) ReadFile(ctx Context, path string) ([]byte, error) {
 func (fs *FS) AppendFile(ctx Context, path string, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	n, err := fs.walk(ctx, path)
 	if err != nil {
 		return err
@@ -425,6 +507,7 @@ func (fs *FS) infoOf(n *inode, path string) *FileInfo {
 func (fs *FS) Unlink(ctx Context, path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.dirtyLocked()
 	dir, name, err := fs.walkParent(ctx, path)
 	if err != nil {
 		return err

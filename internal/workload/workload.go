@@ -126,30 +126,104 @@ func (m MixSpec) Validate() error {
 // experiment uses), round-robin Mix, then OOM injection. len(users)
 // must equal m.Users so the spec stays the single source of truth
 // for the mix's shape.
+//
+// Build is BuildInto over a throwaway scratch; the two are draw-for-
+// draw identical (pinned by TestBuildIntoMatchesBuild).
 func (m MixSpec) Build(rng *metrics.RNG, users []ids.Credential) ([]Submission, error) {
+	var sc BuildScratch
+	return m.BuildInto(rng, users, &sc)
+}
+
+// BuildScratch reuses allocations across repeated BuildInto calls:
+// the submission slice, and the per-index job name / command strings
+// (which depend only on the stream index, never on the RNG). One
+// scratch serves one spec shape at a time; BuildInto rebuilds the
+// caches when the spec changes.
+type BuildScratch struct {
+	subs  []Submission
+	names []string // per-index Spec.Name ("sweep-0", "mc-3", ...)
+	cmds  []string // per-index sweep command; unused for montecarlo
+	kind  string   // spec shape the caches were built for
+	jobs  int
+}
+
+// BuildInto is Build writing into sc's reusable buffers: on a warm
+// scratch the sweep kind allocates nothing at all, and montecarlo
+// allocates only its per-trial command strings (they embed RNG
+// draws). The returned slice aliases sc and is valid until the next
+// BuildInto on the same scratch.
+func (m MixSpec) BuildInto(rng *metrics.RNG, users []ids.Credential, sc *BuildScratch) ([]Submission, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	if len(users) != m.Users {
 		return nil, fmt.Errorf("workload: spec wants %d users, got %d credentials", m.Users, len(users))
 	}
-	gen := Sweep
-	if m.Kind == "montecarlo" {
-		gen = MonteCarlo
+	kind := m.Kind
+	if kind == "" {
+		kind = "sweep"
 	}
-	batches := make([][]Submission, 0, m.Users)
-	for _, cred := range users {
-		batches = append(batches, gen(rng.Split(), SweepConfig{
-			User: cred, Jobs: m.JobsPerUser,
-			MinCores: m.MinCores, MaxCores: m.MaxCores,
-			MinDur: m.MinDur, MaxDur: m.MaxDur, MemB: m.MemB,
-		}))
+	if sc.kind != kind || sc.jobs != m.JobsPerUser {
+		sc.names = make([]string, m.JobsPerUser)
+		sc.cmds = make([]string, m.JobsPerUser)
+		for i := range sc.names {
+			if kind == "montecarlo" {
+				sc.names[i] = fmt.Sprintf("mc-%d", i)
+			} else {
+				sc.names[i] = fmt.Sprintf("sweep-%d", i)
+				sc.cmds[i] = fmt.Sprintf("simulate --param=%d", i)
+			}
+		}
+		sc.kind, sc.jobs = kind, m.JobsPerUser
 	}
-	mix := Mix(batches...)
+	total := m.Users * m.JobsPerUser
+	if cap(sc.subs) < total {
+		sc.subs = make([]Submission, total)
+	}
+	out := sc.subs[:total]
+
+	// Exactly Build's draw order: one Split per user in credential
+	// order, then that child drives the user's whole batch — cores and
+	// duration per job, then (montecarlo) one seed per job. The batch
+	// interleaving is Mix's round-robin, which for the equal-length
+	// batches a MixSpec produces puts user u's i-th job at i*Users+u.
+	var child metrics.RNG
+	for u, cred := range users {
+		child.Reseed(rng.Uint64())
+		for i := 0; i < m.JobsPerUser; i++ {
+			cores := m.MinCores
+			if m.MaxCores > m.MinCores {
+				cores += child.Intn(m.MaxCores - m.MinCores + 1)
+			}
+			dur := m.MinDur
+			if m.MaxDur > m.MinDur {
+				dur += int64(child.Intn(int(m.MaxDur - m.MinDur + 1)))
+			}
+			out[i*m.Users+u] = Submission{
+				Cred: cred,
+				Spec: sched.JobSpec{
+					Name:     sc.names[i],
+					Command:  sc.cmds[i],
+					Cores:    cores,
+					MemB:     m.MemB,
+					Duration: dur,
+				},
+			}
+		}
+		if kind == "montecarlo" {
+			for i := 0; i < m.JobsPerUser; i++ {
+				out[i*m.Users+u].Spec.Command = fmt.Sprintf("montecarlo --seed=%d --trials=1000000", child.Uint64())
+			}
+		}
+	}
 	if m.OOMEvery > 0 {
-		mix = WithOOM(mix, m.OOMEvery, m.OOMMemB)
+		for i := range out {
+			if i%m.OOMEvery == m.OOMEvery-1 {
+				out[i].Spec.ActualMemB = m.OOMMemB
+			}
+		}
 	}
-	return mix, nil
+	return out, nil
 }
 
 // Mix interleaves batches from several users into one submit-order

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/ids"
@@ -218,5 +219,69 @@ func TestRunMPIErrors(t *testing.T) {
 	j.Nodes = []string{"ghost"}
 	if _, err := RunMPI(j, net, 11000, nil); err == nil {
 		t.Errorf("ghost host should error")
+	}
+}
+
+// BuildInto must be draw-for-draw identical to the legacy batch-based
+// construction (Split per user → Sweep/MonteCarlo → Mix → WithOOM),
+// for every kind and with/without OOM injection — the property the
+// fleet executor's scratch reuse stands on.
+func TestBuildIntoMatchesLegacyConstruction(t *testing.T) {
+	users := []ids.Credential{cred(1000), cred(2000), cred(3000)}
+	for _, spec := range []MixSpec{
+		{Users: 3, JobsPerUser: 5, MinCores: 1, MaxCores: 4, MinDur: 1, MaxDur: 6, MemB: 1 << 20},
+		{Users: 3, JobsPerUser: 5, Kind: "montecarlo", MinCores: 2, MaxCores: 2, MinDur: 3, MaxDur: 3, MemB: 1},
+		{Users: 3, JobsPerUser: 7, MinCores: 1, MaxCores: 8, MinDur: 1, MaxDur: 4, MemB: 1 << 20, OOMEvery: 4, OOMMemB: 2 << 30},
+	} {
+		// The legacy pipeline, inlined (Build now delegates to
+		// BuildInto, so the reference must be constructed by hand).
+		rng := metrics.NewRNG(77)
+		gen := Sweep
+		if spec.Kind == "montecarlo" {
+			gen = MonteCarlo
+		}
+		var batches [][]Submission
+		for _, u := range users {
+			batches = append(batches, gen(rng.Split(), SweepConfig{
+				User: u, Jobs: spec.JobsPerUser,
+				MinCores: spec.MinCores, MaxCores: spec.MaxCores,
+				MinDur: spec.MinDur, MaxDur: spec.MaxDur, MemB: spec.MemB,
+			}))
+		}
+		want := Mix(batches...)
+		if spec.OOMEvery > 0 {
+			want = WithOOM(want, spec.OOMEvery, spec.OOMMemB)
+		}
+
+		var sc BuildScratch
+		for round := 0; round < 2; round++ { // round 2 runs on a warm scratch
+			got, err := spec.BuildInto(metrics.NewRNG(77), users, &sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("kind=%q oom=%d round %d: BuildInto diverged from legacy construction\n got: %v\nwant: %v",
+					spec.Kind, spec.OOMEvery, round, got, want)
+			}
+		}
+	}
+}
+
+// A warm scratch makes the sweep kind allocation-free.
+func TestBuildIntoWarmScratchAllocFree(t *testing.T) {
+	spec := MixSpec{Users: 2, JobsPerUser: 10, MinCores: 1, MaxCores: 4, MinDur: 1, MaxDur: 3, MemB: 1, OOMEvery: 5, OOMMemB: 2}
+	users := []ids.Credential{cred(1000), cred(2000)}
+	var sc BuildScratch
+	rng := metrics.NewRNG(1)
+	if _, err := spec.BuildInto(rng, users, &sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := spec.BuildInto(rng, users, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warm-scratch BuildInto allocates %.1f objects per call, want 0", allocs)
 	}
 }

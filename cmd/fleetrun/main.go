@@ -13,6 +13,26 @@
 // value AND for -pool=true vs -pool=false. CI enforces both by
 // diffing worker counts and pooling modes.
 //
+// Campaigns are fault-tolerant. With -checkpoint, a resumable
+// sidecar is written atomically every -every completed trials and on
+// exit, so a killed run loses at most one interval of work; -resume
+// validates the sidecar against the campaign and seed, skips the
+// completed trials, and produces byte-identical final output to a
+// never-interrupted run (CI kills a run mid-campaign and cmps):
+//
+//	go run ./cmd/fleetrun -preset e16-ablation-drain -checkpoint ck.json -every 1 -json > out.json
+//	go run ./cmd/fleetrun -preset e16-ablation-drain -resume ck.json -json > out.json
+//
+// SIGINT/SIGTERM checkpoint then exit with code 3; -timeout <dur>
+// bounds a wedged campaign the same way with code 4. A panicking
+// trial is retried deterministically and degrades to a counted
+// failure instead of aborting (stderr reports each panic). -chaos
+// loads a fleet.FaultPlan JSON that injects panics, checkpoint-write
+// failures, worker delays and a deterministic mid-run kill — the
+// harness CI uses to gate the failure paths. -out and checkpoint
+// writes are atomic (temp + rename): an interrupted run never leaves
+// a truncated artifact.
+//
 // Campaign hot spots are measurable without a custom harness:
 //
 //	go run ./cmd/fleetrun -preset e4-policy-grid -cpuprofile cpu.pprof
@@ -24,121 +44,253 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/fleet"
 )
 
+// Exit codes. Interruption is distinct from failure so CI and
+// wrappers can tell "checkpointed, resume me" from "broken".
+const (
+	exitErr         = 1 // invalid input, trial error, I/O failure
+	exitInterrupted = 3 // SIGINT/SIGTERM (or chaos kill): checkpointed if -checkpoint was set
+	exitTimeout     = 4 // -timeout deadline hit: checkpointed if -checkpoint was set
+)
+
+// cliConfig is the parsed flag set.
+type cliConfig struct {
+	preset       string
+	campaignPath string
+	list         bool
+	dump         bool
+	workers      int
+	seed         uint64
+	pool         bool
+	jsonOut      bool
+	out          string
+	cpuprofile   string
+	memprofile   string
+	checkpoint   string
+	every        int
+	resume       string
+	chaos        string
+	timeout      time.Duration
+}
+
 func main() {
-	preset := flag.String("preset", "", "run a built-in campaign preset (see -list)")
-	campaignPath := flag.String("campaign", "", "run a campaign JSON file")
-	list := flag.Bool("list", false, "list the built-in presets and exit")
-	dump := flag.Bool("dump", false, "print the selected campaign as JSON (an authoring template) and exit")
-	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); changes wall-clock time, never results")
-	seed := flag.Uint64("seed", 1, "campaign master seed; every trial stream derives from it")
-	pool := flag.Bool("pool", true, "reuse one cluster per (worker, scenario) via Reset; -pool=false builds every trial fresh — wall-clock only, never results")
-	jsonOut := flag.Bool("json", false, "print the result record as JSON instead of the summary table")
-	out := flag.String("out", "", "also write the result JSON to this path")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign run to this path")
-	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this path")
+	var cfg cliConfig
+	flag.StringVar(&cfg.preset, "preset", "", "run a built-in campaign preset (see -list)")
+	flag.StringVar(&cfg.campaignPath, "campaign", "", "run a campaign JSON file")
+	flag.BoolVar(&cfg.list, "list", false, "list the built-in presets and exit")
+	flag.BoolVar(&cfg.dump, "dump", false, "print the selected campaign as JSON (an authoring template) and exit")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS); changes wall-clock time, never results")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "campaign master seed; every trial stream derives from it")
+	flag.BoolVar(&cfg.pool, "pool", true, "reuse one cluster per (worker, scenario) via Reset; -pool=false builds every trial fresh — wall-clock only, never results")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "print the result record as JSON instead of the summary table")
+	flag.StringVar(&cfg.out, "out", "", "also write the result JSON to this path (atomically: temp + rename)")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the campaign run to this path")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write an allocation profile (after the run) to this path")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write a resumable checkpoint sidecar to this path every -every trials and on exit")
+	flag.IntVar(&cfg.every, "every", 0, fmt.Sprintf("completed-trial cadence of periodic checkpoint writes (0 = %d)", fleet.DefaultCheckpointEvery))
+	flag.StringVar(&cfg.resume, "resume", "", "resume from this checkpoint sidecar (must match the campaign and -seed; completed trials are skipped)")
+	flag.StringVar(&cfg.chaos, "chaos", "", "inject faults from this fleet.FaultPlan JSON file (testing the failure paths; never use for perf records)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, fmt.Sprintf("bound the campaign: after this duration, checkpoint and exit with code %d (0 = no bound)", exitTimeout))
 	flag.Parse()
 
-	if err := run(*preset, *campaignPath, *list, *dump, *workers, *seed, *pool, *jsonOut, *out, *cpuprofile, *memprofile); err != nil {
+	code, err := run(cfg)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleetrun: %v\n", err)
-		os.Exit(1)
+		var ie *fleet.InterruptedError
+		if errors.As(err, &ie) && ie.Checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "fleetrun: resume with -resume %s\n", ie.Checkpoint)
+		}
+	}
+	if code != 0 {
+		os.Exit(code)
 	}
 }
 
-func run(preset, campaignPath string, list, dump bool, workers int, seed uint64, pool, jsonOut bool, out, cpuprofile, memprofile string) error {
-	if list {
+func run(cfg cliConfig) (int, error) {
+	if cfg.list {
 		for _, c := range fleet.Presets() {
 			fmt.Printf("%-20s %d scenarios, %d trials\n", c.Name, len(c.Scenarios), c.Trials())
 		}
-		return nil
+		return 0, nil
 	}
 
 	var camp fleet.Campaign
 	switch {
-	case preset != "" && campaignPath != "":
-		return fmt.Errorf("-preset and -campaign are mutually exclusive")
-	case preset != "":
+	case cfg.preset != "" && cfg.campaignPath != "":
+		return exitErr, fmt.Errorf("-preset and -campaign are mutually exclusive")
+	case cfg.preset != "":
 		var err error
-		if camp, err = fleet.PresetByName(preset); err != nil {
-			return err
+		if camp, err = fleet.PresetByName(cfg.preset); err != nil {
+			return exitErr, err
 		}
-	case campaignPath != "":
-		f, err := os.Open(campaignPath)
+	case cfg.campaignPath != "":
+		f, err := os.Open(cfg.campaignPath)
 		if err != nil {
-			return err
+			return exitErr, err
 		}
 		defer f.Close()
 		if camp, err = fleet.DecodeCampaign(f); err != nil {
-			return err
+			return exitErr, err
 		}
 	default:
-		return fmt.Errorf("nothing to run: pass -preset <name> (see -list) or -campaign <file.json>")
+		return exitErr, fmt.Errorf("nothing to run: pass -preset <name> (see -list) or -campaign <file.json>")
 	}
 
-	if dump {
+	if cfg.dump {
 		data, err := fleet.EncodeCampaign(camp)
 		if err != nil {
-			return err
+			return exitErr, err
 		}
-		_, err = os.Stdout.Write(data)
-		return err
+		if _, err := os.Stdout.Write(data); err != nil {
+			return exitErr, err
+		}
+		return 0, nil
 	}
+
+	var faults *fleet.FaultPlan
+	if cfg.chaos != "" {
+		f, err := os.Open(cfg.chaos)
+		if err != nil {
+			return exitErr, err
+		}
+		faults, err = fleet.DecodeFaultPlan(f)
+		f.Close()
+		if err != nil {
+			return exitErr, err
+		}
+	}
+
+	var resumeFrom *fleet.Checkpoint
+	if cfg.resume != "" {
+		ck, err := fleet.LoadCheckpoint(cfg.resume)
+		if err != nil {
+			return exitErr, err
+		}
+		resumeFrom = ck
+	}
+
+	// Signal/timeout plumbing: the first SIGINT/SIGTERM — or the
+	// -timeout deadline — trips the run's Interrupt channel, which
+	// drains in-flight trials and checkpoints; a second signal kills
+	// immediately via the restored default disposition. cause records
+	// which tripwire fired so the exit code distinguishes them.
+	interrupt := make(chan struct{})
+	finished := make(chan struct{})
+	defer close(finished)
+	var cause atomic.Int32
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if cfg.timeout > 0 {
+		deadline = time.After(cfg.timeout)
+	}
+	go func() {
+		defer signal.Stop(sigC)
+		select {
+		case sig := <-sigC:
+			fmt.Fprintf(os.Stderr, "fleetrun: %v: draining in-flight trials and checkpointing\n", sig)
+			cause.Store(exitInterrupted)
+			close(interrupt)
+		case <-deadline:
+			fmt.Fprintf(os.Stderr, "fleetrun: -timeout %v elapsed: draining in-flight trials and checkpointing\n", cfg.timeout)
+			cause.Store(exitTimeout)
+			close(interrupt)
+		case <-finished:
+		}
+	}()
 
 	// The profile brackets exactly the campaign execution: flag
 	// parsing, campaign decoding and result rendering stay outside, so
 	// the profile answers "where do trial cycles go".
-	if cpuprofile != "" {
-		f, err := os.Create(cpuprofile)
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
 		if err != nil {
-			return err
+			return exitErr, err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %v", err)
+			return exitErr, fmt.Errorf("cpuprofile: %v", err)
 		}
 	}
 
-	res, err := fleet.Run(camp, fleet.Options{Workers: workers, Seed: seed, DisablePooling: !pool})
-	if cpuprofile != "" {
+	res, err := fleet.Run(camp, fleet.Options{
+		Workers:         cfg.workers,
+		Seed:            cfg.seed,
+		DisablePooling:  !cfg.pool,
+		CheckpointPath:  cfg.checkpoint,
+		CheckpointEvery: cfg.every,
+		ResumeFrom:      resumeFrom,
+		Interrupt:       interrupt,
+		Faults:          faults,
+	})
+	if cfg.cpuprofile != "" {
 		pprof.StopCPUProfile() // stop before rendering so the profile holds trial cycles only
 	}
 	if err != nil {
-		return err
+		var ie *fleet.InterruptedError
+		if errors.As(err, &ie) {
+			if code := int(cause.Load()); code != 0 {
+				return code, err
+			}
+			return exitInterrupted, err // a chaos kill_after_trials fault
+		}
+		return exitErr, err
 	}
 
-	if memprofile != "" {
-		f, err := os.Create(memprofile)
+	if cfg.memprofile != "" {
+		f, err := os.Create(cfg.memprofile)
 		if err != nil {
-			return err
+			return exitErr, err
 		}
 		defer f.Close()
 		runtime.GC() // report live objects, not transient garbage
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			return fmt.Errorf("memprofile: %v", err)
+			return exitErr, fmt.Errorf("memprofile: %v", err)
 		}
+	}
+
+	// Failure-model bookkeeping goes to stderr, never into the
+	// canonical result bytes.
+	for _, tf := range res.TrialFailures {
+		verdict := "recovered by retry"
+		if tf.Terminal {
+			verdict = "TERMINAL: degraded to a counted failure"
+		}
+		fmt.Fprintf(os.Stderr, "fleetrun: trial panic: scenario %q replication %d attempt %d (%s): %s\n",
+			tf.Scenario, tf.Replication, tf.Attempt, verdict, tf.Panic)
+	}
+	if res.CheckpointWriteFailures > 0 {
+		fmt.Fprintf(os.Stderr, "fleetrun: %d checkpoint write(s) failed and were retried at the next interval\n", res.CheckpointWriteFailures)
 	}
 
 	data, err := res.JSON()
 	if err != nil {
-		return err
+		return exitErr, err
 	}
-	if out != "" {
-		if err := os.WriteFile(out, data, 0o644); err != nil {
-			return err
+	if cfg.out != "" {
+		if err := fleet.WriteFileAtomic(cfg.out, data); err != nil {
+			return exitErr, err
 		}
 	}
-	if jsonOut {
-		_, err = os.Stdout.Write(data)
-		return err
+	if cfg.jsonOut {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return exitErr, err
+		}
+		return 0, nil
 	}
 	fmt.Println(res.Table().Render())
-	return nil
+	return 0, nil
 }

@@ -1,0 +1,353 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runJSON runs the campaign and returns its canonical bytes.
+func runJSON(t *testing.T, c Campaign, opt Options) []byte {
+	t.Helper()
+	res, err := Run(c, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// interruptedCheckpoint runs the campaign with a deterministic chaos
+// kill after `after` dispatched trials, requires an InterruptedError,
+// and returns the loaded final checkpoint.
+func interruptedCheckpoint(t *testing.T, c Campaign, opt Options, after int) *Checkpoint {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	opt.CheckpointPath = path
+	opt.CheckpointEvery = 1
+	if opt.Faults == nil {
+		opt.Faults = &FaultPlan{}
+	}
+	opt.Faults.KillAfterTrials = after
+	_, err := Run(c, opt)
+	var ie *InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want InterruptedError, got %v", err)
+	}
+	if ie.Checkpoint != path {
+		t.Fatalf("InterruptedError names checkpoint %q, want %q", ie.Checkpoint, path)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Completed != ie.Completed {
+		t.Fatalf("checkpoint records %d completed trials, InterruptedError says %d", ck.Completed, ie.Completed)
+	}
+	return ck
+}
+
+func TestBitmap(t *testing.T) {
+	b := NewBitmap(130)
+	if len(b) != 3 {
+		t.Fatalf("130 bits need 3 words, got %d", len(b))
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Errorf("fresh bitmap has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+	if b.Get(1) || b.Get(65) {
+		t.Error("Set leaked into neighboring bits")
+	}
+	c := b.Clone()
+	c.Set(1)
+	if b.Get(1) {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+// The checkpoint's identity binding: the hash is stable for a fixed
+// campaign and moves under any definitional edit.
+func TestCampaignHashBindsDefinition(t *testing.T) {
+	base := smokeCampaign()
+	h1, err := CampaignHash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := CampaignHash(smokeCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not a pure function of the campaign: %#x vs %#x", h1, h2)
+	}
+	for name, mutate := range map[string]func(*Campaign){
+		"renamed scenario": func(c *Campaign) { c.Scenarios[0].Name = "smoke/renamed" },
+		"changed horizon":  func(c *Campaign) { c.Scenarios[0].Horizon++ },
+		"extra replication": func(c *Campaign) {
+			c.Scenarios[1].Replications++
+		},
+		"reordered scenarios": func(c *Campaign) {
+			c.Scenarios[0], c.Scenarios[1] = c.Scenarios[1], c.Scenarios[0]
+		},
+	} {
+		c := smokeCampaign()
+		mutate(&c)
+		h, err := CampaignHash(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == h1 {
+			t.Errorf("%s: hash unchanged", name)
+		}
+	}
+}
+
+// The tentpole acceptance criterion: a campaign killed mid-run and
+// resumed from its checkpoint produces byte-identical final JSON to a
+// run that was never interrupted — for the smoke preset and the full
+// e16 ablation preset, across worker counts. The kill is the
+// deterministic chaos stand-in (KillAfterTrials), so the interruption
+// point is identical on every test run.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		camp      Campaign
+		killAfter int
+		workers   int
+	}{
+		{"smoke", smokeCampaign(), 2, 2},
+		{"e16", e16AblationDrainCampaign(), 7, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			clean := runJSON(t, tc.camp, Options{Workers: tc.workers, Seed: 7})
+			ck := interruptedCheckpoint(t, tc.camp, Options{Workers: tc.workers, Seed: 7}, tc.killAfter)
+			if ck.Completed != tc.killAfter {
+				t.Fatalf("kill after %d dispatches completed %d trials", tc.killAfter, ck.Completed)
+			}
+			if ck.Completed >= tc.camp.Trials() {
+				t.Fatalf("nothing left to resume: %d of %d trials completed", ck.Completed, tc.camp.Trials())
+			}
+			resumed := runJSON(t, tc.camp, Options{Workers: tc.workers, Seed: 7, ResumeFrom: ck})
+			if !bytes.Equal(resumed, clean) {
+				t.Fatalf("resumed bytes differ from the uninterrupted run:\n%s\nvs\n%s", resumed, clean)
+			}
+			// Resuming with a different worker count must not matter
+			// either — the restored partials re-enter the reduction at
+			// their own trial index.
+			resumed1w := runJSON(t, tc.camp, Options{Workers: 1, Seed: 7, ResumeFrom: ck})
+			if !bytes.Equal(resumed1w, clean) {
+				t.Fatalf("single-worker resume bytes differ from the uninterrupted run")
+			}
+		})
+	}
+}
+
+// Interruption chains: kill, resume, kill again, resume again — the
+// final bytes must still equal the clean run's (each checkpoint
+// subsumes the previous one's completed set).
+func TestResumeChainByteIdentical(t *testing.T) {
+	camp := smokeCampaign()
+	clean := runJSON(t, camp, Options{Workers: 2, Seed: 7})
+	ck1 := interruptedCheckpoint(t, camp, Options{Workers: 2, Seed: 7}, 1)
+	ck2 := interruptedCheckpoint(t, camp, Options{Workers: 2, Seed: 7, ResumeFrom: ck1}, 2)
+	if ck2.Completed != ck1.Completed+2 {
+		t.Fatalf("second leg completed %d trials, want %d", ck2.Completed, ck1.Completed+2)
+	}
+	final := runJSON(t, camp, Options{Workers: 2, Seed: 7, ResumeFrom: ck2})
+	if !bytes.Equal(final, clean) {
+		t.Fatalf("twice-resumed bytes differ from the uninterrupted run")
+	}
+}
+
+// A run that completes normally with checkpointing enabled leaves a
+// complete sidecar; resuming from it re-runs nothing and still
+// renders identical bytes (the restored-aggregate merge path alone).
+func TestResumeFromCompleteCheckpoint(t *testing.T) {
+	camp := smokeCampaign()
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	clean := runJSON(t, camp, Options{Workers: 2, Seed: 7, CheckpointPath: path})
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Completed != camp.Trials() {
+		t.Fatalf("final checkpoint records %d trials, want all %d", ck.Completed, camp.Trials())
+	}
+	resumed := runJSON(t, camp, Options{Workers: 2, Seed: 7, ResumeFrom: ck})
+	if !bytes.Equal(resumed, clean) {
+		t.Fatalf("resume-from-complete bytes differ from the original run")
+	}
+}
+
+// Every way a checkpoint can fail to match the campaign must be
+// rejected with a contextual error — resuming under a mismatched
+// seed or definition would silently corrupt the statistics.
+func TestResumeValidationRejects(t *testing.T) {
+	camp := smokeCampaign()
+	ck := interruptedCheckpoint(t, camp, Options{Workers: 2, Seed: 7}, 2)
+
+	reload := func(mutate func(*Checkpoint)) *Checkpoint {
+		// Round-trip through JSON for an independent deep copy.
+		buf, err := json.Marshal(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := new(Checkpoint)
+		if err := json.Unmarshal(buf, fresh); err != nil {
+			t.Fatal(err)
+		}
+		mutate(fresh)
+		return fresh
+	}
+
+	for name, tc := range map[string]struct {
+		opt  Options
+		ck   *Checkpoint
+		want string
+	}{
+		"seed mismatch":    {Options{Seed: 8}, reload(func(*Checkpoint) {}), "seed"},
+		"format mismatch":  {Options{Seed: 7}, reload(func(c *Checkpoint) { c.Format = 99 }), "format"},
+		"campaign renamed": {Options{Seed: 7}, reload(func(c *Checkpoint) { c.Campaign = "other" }), "campaign"},
+		"hash mismatch":    {Options{Seed: 7}, reload(func(c *Checkpoint) { c.CampaignHash++ }), "hash"},
+		"count mismatch":   {Options{Seed: 7}, reload(func(c *Checkpoint) { c.Completed++ }), "completed"},
+		"bitmap/partials disagree": {Options{Seed: 7}, reload(func(c *Checkpoint) {
+			for i := range c.Scenarios {
+				if len(c.Scenarios[i].Partials) > 0 {
+					c.Scenarios[i].Partials = c.Scenarios[i].Partials[:len(c.Scenarios[i].Partials)-1]
+					c.Completed--
+					return
+				}
+			}
+		}), "bitmap"},
+		"out-of-range bit": {Options{Seed: 7}, reload(func(c *Checkpoint) {
+			c.Scenarios[0].Done.Set(len(c.Scenarios[0].Done)*64 - 1) // beyond Replications=3
+		}), "outside"},
+		"wrong result name": {Options{Seed: 7}, reload(func(c *Checkpoint) {
+			for i := range c.Scenarios {
+				if len(c.Scenarios[i].Partials) > 0 {
+					c.Scenarios[i].Partials[0].Result.Name = "bogus"
+					return
+				}
+			}
+		}), "carries result"},
+		"histogram layout": {Options{Seed: 7}, reload(func(c *Checkpoint) {
+			for i := range c.Scenarios {
+				if len(c.Scenarios[i].Partials) > 0 {
+					c.Scenarios[i].Partials[0].Result.MakespanHist.Hi++
+					return
+				}
+			}
+		}), "histogram"},
+	} {
+		opt := tc.opt
+		opt.ResumeFrom = tc.ck
+		opt.Workers = 2
+		if _, err := Run(camp, opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", name, tc.want, err)
+		}
+	}
+
+	// A definitional edit to the campaign itself must likewise reject
+	// an old checkpoint via the hash.
+	edited := smokeCampaign()
+	edited.Scenarios[0].Horizon++
+	if _, err := Run(edited, Options{Workers: 2, Seed: 7, ResumeFrom: ck}); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Errorf("edited campaign accepted a stale checkpoint: %v", err)
+	}
+}
+
+// Checkpoint writes are atomic: saving over an existing sidecar
+// leaves no temp droppings and the destination always parses.
+func TestCheckpointSaveAtomicOverwrite(t *testing.T) {
+	camp := smokeCampaign()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	ck := interruptedCheckpoint(t, camp, Options{Workers: 2, Seed: 7}, 2)
+	for i := 0; i < 3; i++ {
+		if err := ck.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ckpt.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want exactly [ckpt.json] (temp files must not leak)", names)
+	}
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// LoadCheckpoint must reject unknown fields like campaign files do.
+func TestLoadCheckpointRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte(`{"format":1,"campain":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil || !strings.Contains(err.Error(), "campain") {
+		t.Errorf("typo field accepted: %v", err)
+	}
+}
+
+// An interrupted run with no checkpoint path still drains and
+// reports, with the error explicit that completed work was dropped.
+func TestInterruptWithoutCheckpointPath(t *testing.T) {
+	camp := smokeCampaign()
+	_, err := Run(camp, Options{Workers: 2, Seed: 7, Faults: &FaultPlan{KillAfterTrials: 2}})
+	var ie *InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want InterruptedError, got %v", err)
+	}
+	if ie.Checkpoint != "" || !strings.Contains(ie.Error(), "discarded") {
+		t.Errorf("error should state that completed trials were discarded: %v", ie)
+	}
+}
+
+// Options.Interrupt already fired: the run must stop before
+// dispatching anything, checkpoint an empty state, and that empty
+// checkpoint must resume to a byte-identical full run.
+func TestInterruptBeforeDispatch(t *testing.T) {
+	camp := smokeCampaign()
+	clean := runJSON(t, camp, Options{Workers: 2, Seed: 7})
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	pre := make(chan struct{})
+	close(pre)
+	_, err := Run(camp, Options{Workers: 2, Seed: 7, Interrupt: pre, CheckpointPath: path})
+	var ie *InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want InterruptedError, got %v", err)
+	}
+	if ie.Completed != 0 {
+		t.Fatalf("pre-fired interrupt completed %d trials, want 0", ie.Completed)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := runJSON(t, camp, Options{Workers: 2, Seed: 7, ResumeFrom: ck})
+	if !bytes.Equal(resumed, clean) {
+		t.Fatalf("resume-from-empty bytes differ from the clean run")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
@@ -11,6 +12,15 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
+
+// DefaultCheckpointEvery is the completed-trial cadence of periodic
+// checkpoint writes when Options.CheckpointEvery is unset.
+const DefaultCheckpointEvery = 8
+
+// DefaultTrialRetries is how many times a panicking trial is re-run
+// before it degrades to a counted failure, when Options.MaxTrialRetries
+// is unset.
+const DefaultTrialRetries = 2
 
 // Options configures a campaign run.
 type Options struct {
@@ -29,6 +39,68 @@ type Options struct {
 	// for exactly two audiences: the lifecycle benchmark and the
 	// determinism gates that prove the equivalence.
 	DisablePooling bool
+	// CheckpointPath, when non-empty, makes Run persist a resumable
+	// Checkpoint sidecar (atomically: temp + rename) every
+	// CheckpointEvery completed trials and once more when the run
+	// drains — normally, on Interrupt, or before aborting on a trial
+	// error — so a SIGKILLed campaign loses at most the trials since
+	// the last periodic write.
+	CheckpointPath string
+	// CheckpointEvery is the completed-trial cadence of periodic
+	// checkpoint writes; <= 0 means DefaultCheckpointEvery.
+	CheckpointEvery int
+	// ResumeFrom restores completed trials from a prior run's
+	// checkpoint. Run validates it against the compiled campaign —
+	// name, canonical-encoding hash, seed and per-scenario shape must
+	// all match or the resume is rejected — then skips every
+	// completed trial and merges the restored per-trial aggregates in
+	// trial-index order, so the final result is byte-identical to an
+	// uninterrupted run (see checkpoint.go for why).
+	ResumeFrom *Checkpoint
+	// Interrupt, when readable (closed or sent on), stops dispatching
+	// new trials: in-flight trials drain, a final checkpoint is
+	// written if CheckpointPath is set, and Run returns
+	// *InterruptedError instead of a result.
+	Interrupt <-chan struct{}
+	// MaxTrialRetries bounds how many times a panicking trial is
+	// re-run — same (scenario, replication) stream seed, freshly
+	// built cluster — before it degrades to an explicit failure.
+	// 0 means DefaultTrialRetries; negative disables retries.
+	MaxTrialRetries int
+	// Faults is the chaos-injection plan (faults.go); nil injects
+	// nothing.
+	Faults *FaultPlan
+}
+
+// TrialFailure is the structured record of one panicking trial
+// attempt: which trial, which attempt, what the panic said and where.
+// Failures ride on CampaignResult outside the canonical JSON bytes —
+// stack traces embed goroutine numbers and addresses, which would
+// break the byte-determinism contract — and checkpoints likewise
+// persist only the per-scenario failure counts.
+type TrialFailure struct {
+	Scenario    string
+	Replication int
+	Attempt     int  // 1-based
+	Terminal    bool // the retry budget is exhausted; the trial degraded to a counted failure
+	Panic       string
+	Stack       string
+}
+
+// InterruptedError reports a run stopped by Options.Interrupt or a
+// FaultPlan KillAfterTrials fault, after in-flight trials drained and
+// the final checkpoint (if requested) was written.
+type InterruptedError struct {
+	Completed  int    // trials completed, restored ones included
+	Total      int    // trials in the campaign
+	Checkpoint string // path of the final checkpoint; "" if none was requested
+}
+
+func (e *InterruptedError) Error() string {
+	if e.Checkpoint == "" {
+		return fmt.Sprintf("fleet: campaign interrupted after %d/%d trials (no checkpoint path: completed trials were discarded)", e.Completed, e.Total)
+	}
+	return fmt.Sprintf("fleet: campaign interrupted after %d/%d trials (checkpoint: %s)", e.Completed, e.Total, e.Checkpoint)
 }
 
 // ScenarioResult aggregates one scenario's trials with mergeable
@@ -46,6 +118,12 @@ type ScenarioResult struct {
 	// summed over trials; nonzero means the horizon is too short for
 	// the workload.
 	Unfinished int `json:"unfinished"`
+	// Failures counts trials that exhausted their panic-retry budget
+	// and degraded to an empty aggregate instead of aborting the
+	// campaign. Replications counts successful trials only, so
+	// Replications+Failures equals the scenario's configured count —
+	// a nonzero value marks the scenario's statistics as partial.
+	Failures int `json:"failures"`
 }
 
 // Merge folds another shard of the same scenario in. Merge order is
@@ -64,6 +142,7 @@ func (r *ScenarioResult) Merge(o *ScenarioResult) error {
 	r.Crashes += o.Crashes
 	r.Cofailures += o.Cofailures
 	r.Unfinished += o.Unfinished
+	r.Failures += o.Failures
 	return nil
 }
 
@@ -75,6 +154,16 @@ type CampaignResult struct {
 	Campaign  string            `json:"campaign"`
 	Seed      uint64            `json:"seed"`
 	Scenarios []*ScenarioResult `json:"scenarios"`
+	// TrialFailures records every panicking attempt observed during
+	// the run in trial-index order, retried-then-recovered attempts
+	// included. Excluded from the canonical JSON (stacks are not
+	// deterministic); per-scenario terminal counts are in the
+	// Failures fields above.
+	TrialFailures []TrialFailure `json:"-"`
+	// CheckpointWriteFailures counts checkpoint writes (periodic or
+	// final) that failed without stopping the run; the next interval
+	// retried.
+	CheckpointWriteFailures int `json:"-"`
 }
 
 // JSON renders the canonical record: indented, trailing newline,
@@ -91,7 +180,7 @@ func (r *CampaignResult) JSON() ([]byte, error) {
 // form.
 func (r *CampaignResult) Table() *metrics.Table {
 	t := metrics.NewTable(fmt.Sprintf("fleet campaign: %s", r.Campaign),
-		"scenario", "reps", "util mean", "util sd", "makespan mean", "makespan max", "crashes", "cofail", "unfinished")
+		"scenario", "reps", "util mean", "util sd", "makespan mean", "makespan max", "crashes", "cofail", "unfinished", "failures")
 	for _, s := range r.Scenarios {
 		// The makespan tail comes from the Acc (exact across
 		// replications); the histogram's horizon-scaled buckets are too
@@ -99,7 +188,7 @@ func (r *CampaignResult) Table() *metrics.Table {
 		t.AddRow(s.Name, s.Replications,
 			s.Util.Mean, s.Util.Std(),
 			s.Makespan.Mean, s.Makespan.Max,
-			s.Crashes, s.Cofailures, s.Unfinished)
+			s.Crashes, s.Cofailures, s.Unfinished, s.Failures)
 	}
 	t.AddNote("seed %d; trial streams keyed by (scenario, replication) — results are worker-count-invariant", r.Seed)
 	return t
@@ -116,11 +205,28 @@ func (r *CampaignResult) Table() *metrics.Table {
 // index) rather than from draw order, and the reduction merges
 // fixed-size per-trial aggregates in trial-index order rather than
 // completion order.
+//
+// Failure model (see DESIGN.md §8): a panicking trial is retried
+// under the identical stream seed on a quarantined-then-rebuilt
+// cluster up to the retry budget, then degrades to a counted failure;
+// a genuine error (infeasible submit, broken config) still aborts the
+// campaign; Interrupt stops dispatch, drains in-flight trials,
+// checkpoints and returns *InterruptedError. Because restored
+// aggregates re-enter the reduction at their own trial index, a
+// resumed run's bytes equal an uninterrupted run's.
 func Run(c Campaign, opt Options) (*CampaignResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	comp, err := compileCampaign(c, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := compileFaults(opt.Faults, c)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := CampaignHash(c)
 	if err != nil {
 		return nil, err
 	}
@@ -142,32 +248,173 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 		workers = len(trials)
 	}
 
-	// Each worker writes only its own trial's slot, so the slices need
-	// no lock; wg.Wait is the happens-before edge back to the reducer.
+	// Each worker writes only its own trial's slots, so the slices
+	// need no lock; the per-trial send on done (and finally wg.Wait)
+	// is the happens-before edge to the checkpointer and the reducer.
 	// Cluster pooling is strictly per worker (each goroutine owns its
 	// pool; pooled clusters are never handed across goroutines), so
 	// trials stay share-nothing and the determinism argument is
 	// untouched by which worker runs which trial.
 	partials := make([]*ScenarioResult, len(trials))
 	errs := make([]error, len(trials))
+	failures := make([][]TrialFailure, len(trials))
+
+	restored := NewBitmap(len(trials))
+	if opt.ResumeFrom != nil {
+		if err := opt.ResumeFrom.ValidateAgainst(c, opt.Seed); err != nil {
+			return nil, err
+		}
+		base := 0
+		for si := range c.Scenarios {
+			for _, p := range opt.ResumeFrom.Scenarios[si].Partials {
+				// Deep-copy the aggregate: the reduction merges into
+				// the scenario's first partial in place, and sharing
+				// the histogram's bucket slice with the caller's
+				// Checkpoint would corrupt it for a second resume.
+				r := p.Result
+				h := *r.MakespanHist
+				h.Counts = append([]int64(nil), h.Counts...)
+				r.MakespanHist = &h
+				partials[base+p.Replication] = &r
+				restored.Set(base + p.Replication)
+			}
+			base += c.Scenarios[si].Replications
+		}
+	}
+
+	attempts := opt.MaxTrialRetries + 1
+	switch {
+	case opt.MaxTrialRetries == 0:
+		attempts = DefaultTrialRetries + 1
+	case opt.MaxTrialRetries < 0:
+		attempts = 1
+	}
+
+	// interrupt trips at most once — from Options.Interrupt or from a
+	// chaos kill-after fault — and stops the dispatch loop; in-flight
+	// trials always drain normally.
+	interrupt := make(chan struct{})
+	var tripOnce sync.Once
+	trip := func() { tripOnce.Do(func() { close(interrupt) }) }
+	runDone := make(chan struct{})
+	defer close(runDone)
+	if opt.Interrupt != nil {
+		// An interrupt that fired before the run started must stop it
+		// before any dispatch — checked synchronously here because the
+		// forwarder goroutine below races a fast campaign.
+		select {
+		case <-opt.Interrupt:
+			trip()
+		default:
+		}
+		go func() {
+			select {
+			case <-opt.Interrupt:
+				trip()
+			case <-runDone:
+			}
+		}()
+	}
+
+	// The checkpointer consumes completion announcements. Workers
+	// send a trial's index only after recording its result, so the
+	// channel receive lets this goroutine read that slot while the
+	// run is still going.
+	done := make(chan int, len(trials))
+	completed := restored.Clone()
+	every := opt.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	writes := 0
+	writeFailures := 0
+	writeCheckpoint := func() error {
+		writes++
+		if err := inj.checkpointWriteErr(writes); err != nil {
+			writeFailures++
+			return err
+		}
+		ck := buildCheckpoint(c, hash, opt.Seed, partials, completed)
+		if err := ck.Save(opt.CheckpointPath); err != nil {
+			writeFailures++
+			return err
+		}
+		return nil
+	}
+	checkpointerDone := make(chan struct{})
+	go func() {
+		defer close(checkpointerDone)
+		n := 0
+		for ti := range done {
+			completed.Set(ti)
+			n++
+			// A failed periodic write is tolerated — counted, retried
+			// at the next interval: losing one checkpoint must not
+			// kill the campaign the checkpoint exists to protect.
+			if opt.CheckpointPath != "" && n%every == 0 {
+				_ = writeCheckpoint()
+			}
+		}
+	}()
+
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			tw := newTrialWorker(comp, !opt.DisablePooling)
+			tw.faults = inj
 			for ti := range work {
+				inj.delayWorker(worker)
 				ref := trials[ti]
-				partials[ti], errs[ti] = tw.runTrial(ref.scenario, ref.rep)
+				partials[ti], failures[ti], errs[ti] = tw.runTrialIsolated(ref.scenario, ref.rep, attempts)
+				if errs[ti] == nil {
+					done <- ti
+				}
 			}
-		}()
+		}(w)
 	}
+	dispatched := 0
+dispatch:
 	for ti := range trials {
-		work <- ti
+		if restored.Get(ti) {
+			continue
+		}
+		// The chaos kill counts dispatches synchronously right here,
+		// so exactly KillAfterTrials new trials run — deterministic
+		// where counting asynchronous completions would race fast
+		// campaigns to the finish before the kill ever fired.
+		if k := inj.killAfterTrials(); k > 0 && dispatched >= k {
+			trip()
+			break dispatch
+		}
+		// Prefer the interrupt when both are ready, so "stop now"
+		// stops dispatch at the first opportunity.
+		select {
+		case <-interrupt:
+			break dispatch
+		default:
+		}
+		select {
+		case work <- ti:
+			dispatched++
+		case <-interrupt:
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
+	close(done)
+	<-checkpointerDone
+
+	// The final checkpoint covers every drained trial no matter how
+	// the run ends — complete, interrupted, or about to abort on a
+	// trial error — so completed work is never thrown away.
+	var finalCkErr error
+	if opt.CheckpointPath != "" {
+		finalCkErr = writeCheckpoint()
+	}
 
 	for ti, err := range errs {
 		if err != nil {
@@ -175,8 +422,23 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 			return nil, fmt.Errorf("fleet: scenario %q replication %d: %w", c.Scenarios[ref.scenario].Name, ref.rep, err)
 		}
 	}
+	interrupted := false
+	select {
+	case <-interrupt:
+		interrupted = true
+	default:
+	}
+	// An interrupt that raced the last completion interrupted
+	// nothing: with every trial done the full result is returned.
+	if interrupted && completed.Count() < len(trials) {
+		if finalCkErr != nil {
+			return nil, fmt.Errorf("fleet: interrupted after %d/%d trials and the final checkpoint write failed: %w",
+				completed.Count(), len(trials), finalCkErr)
+		}
+		return nil, &InterruptedError{Completed: completed.Count(), Total: len(trials), Checkpoint: opt.CheckpointPath}
+	}
 
-	res := &CampaignResult{Campaign: c.Name, Seed: opt.Seed}
+	res := &CampaignResult{Campaign: c.Name, Seed: opt.Seed, CheckpointWriteFailures: writeFailures}
 	i := 0
 	for _, s := range c.Scenarios {
 		agg := partials[i]
@@ -188,6 +450,9 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 			i++
 		}
 		res.Scenarios = append(res.Scenarios, agg)
+	}
+	for ti := range trials {
+		res.TrialFailures = append(res.TrialFailures, failures[ti]...)
 	}
 	return res, nil
 }
@@ -272,6 +537,8 @@ type trialWorker struct {
 	pooling bool
 	slots   map[int]*scenarioSlot
 	rng     metrics.RNG
+	faults  *faultInjector // nil = no chaos
+	attempt int            // current attempt number; keys chaos panic points
 }
 
 // scenarioSlot is the per-(worker, scenario) reuse state.
@@ -293,6 +560,67 @@ type trialResult struct {
 	counts [makespanBuckets]int64
 }
 
+// runTrialIsolated runs one trial under panic isolation: a panicking
+// attempt is recorded as a TrialFailure, the worker's slot for the
+// scenario is quarantined (a panic voids the pristine-Reset
+// guarantee, so the pooled cluster AND the scratch buffers are
+// dropped and rebuilt fresh), and the trial is retried under the
+// identical (scenario, replication) stream seed — a successful retry
+// is indistinguishable from a first-try success, byte for byte. When
+// the attempt budget is exhausted the trial degrades to an empty
+// aggregate carrying an explicit failure count instead of killing
+// the campaign. Genuine errors (not panics) still abort.
+func (w *trialWorker) runTrialIsolated(scenario, rep, attempts int) (*ScenarioResult, []TrialFailure, error) {
+	var fails []TrialFailure
+	for attempt := 1; attempt <= attempts; attempt++ {
+		res, failure, err := w.runTrialAttempt(scenario, rep, attempt)
+		if err != nil {
+			return nil, fails, err
+		}
+		if failure == nil {
+			return res, fails, nil
+		}
+		fails = append(fails, *failure)
+	}
+	fails[len(fails)-1].Terminal = true
+	return w.failedTrialResult(scenario), fails, nil
+}
+
+// runTrialAttempt is one recover()-guarded execution of runTrial.
+func (w *trialWorker) runTrialAttempt(scenario, rep, attempt int) (res *ScenarioResult, failure *TrialFailure, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Quarantine the whole slot: nothing a panicked trial may
+			// have touched — cluster, credential cache, build scratch
+			// — is reusable.
+			delete(w.slots, scenario)
+			res, err = nil, nil
+			failure = &TrialFailure{
+				Scenario:    w.comp[scenario].spec.Name,
+				Replication: rep,
+				Attempt:     attempt,
+				Panic:       fmt.Sprint(r),
+				Stack:       string(debug.Stack()),
+			}
+		}
+	}()
+	w.attempt = attempt
+	res, err = w.runTrial(scenario, rep)
+	return res, nil, err
+}
+
+// failedTrialResult is the degraded aggregate of a trial whose every
+// attempt panicked: zero samples under the scenario's histogram
+// layout (so trial-index-order merging is untouched) and one counted
+// failure.
+func (w *trialWorker) failedTrialResult(scenario int) *ScenarioResult {
+	s := w.comp[scenario].spec
+	tr := &trialResult{}
+	tr.hist = metrics.Histogram{Lo: 0, Hi: float64(s.Horizon), Counts: tr.counts[:]}
+	tr.res = ScenarioResult{Name: s.Name, MakespanHist: &tr.hist, Failures: 1}
+	return &tr.res
+}
+
 // runTrial executes one (scenario, replication) trial: a cluster per
 // the scenario — pooled and Reset, or built fresh — provisioned with
 // the scenario's users, submitted the mix drawn from the trial's own
@@ -301,6 +629,7 @@ type trialResult struct {
 func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 	cs := &w.comp[scenario]
 	s := cs.spec
+	w.faults.hitPoint(s.Name, rep, w.attempt, PointBegin)
 	slot := w.slots[scenario]
 	if slot == nil {
 		slot = &scenarioSlot{}
@@ -342,6 +671,7 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 			return nil, err
 		}
 	}
+	w.faults.hitPoint(s.Name, rep, w.attempt, PointSubmit)
 	ticks := c.RunAll(s.Horizon)
 	crashes, cofail := c.Sched.Crashes()
 

@@ -8,8 +8,15 @@
 // reduces shard results in trial-index order, which makes campaign
 // output bit-identical regardless of worker count or completion
 // order: `fleetrun -workers 1` and `-workers 8` produce the same
-// bytes. Built-in presets (presets.go) re-express the paper's E4
-// policy grid and E16 ablation matrix as campaigns.
+// bytes. The same contract makes campaigns fault-tolerant rather
+// than merely restartable: runs checkpoint per-trial aggregates to
+// an atomically-written sidecar and resume byte-identically
+// (checkpoint.go), panicking trials are isolated, retried under
+// their unchanged stream seed and degraded to counted failures
+// instead of killing the campaign (run.go), and a deterministic
+// chaos injector exercises all of it (faults.go). Built-in presets
+// (presets.go) re-express the paper's E4 policy grid and E16
+// ablation matrix as campaigns.
 package fleet
 
 import (

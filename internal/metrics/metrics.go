@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -108,6 +109,29 @@ func (d *Dist) Merge(other *Dist) {
 		return
 	}
 	d.samples = append(d.samples, other.samples...)
+}
+
+// MarshalJSON serializes the raw samples as a JSON array, so a
+// shard's Dist can cross a process boundary (a checkpoint sidecar, a
+// worker response) and merge exactly: Go emits the shortest decimal
+// that round-trips each float64, making decode(encode(d)) sample-for-
+// sample identical to d. An empty Dist encodes as [], not null, so
+// the canonical bytes don't depend on whether Add was ever called.
+func (d Dist) MarshalJSON() ([]byte, error) {
+	if d.samples == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(d.samples)
+}
+
+// UnmarshalJSON restores a Dist serialized by MarshalJSON.
+func (d *Dist) UnmarshalJSON(data []byte) error {
+	var samples []float64
+	if err := json.Unmarshal(data, &samples); err != nil {
+		return err
+	}
+	d.samples = samples
+	return nil
 }
 
 // N returns the sample count.

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -162,6 +164,129 @@ func TestHistogramQuantileEdges(t *testing.T) {
 	}
 	if got := h.Quantile(1); got != 10 {
 		t.Errorf("p100 = %v, want 10", got)
+	}
+}
+
+// The aggregates cross process boundaries (checkpoint sidecars) as
+// JSON, so serialization must be lossless down to the last float bit:
+// merging a decode(encode(shard)) must equal merging the shard
+// itself, statistic for statistic. Go's encoding/json guarantees this
+// by emitting the shortest decimal that round-trips each float64.
+func TestAccJSONRoundTripMerge(t *testing.T) {
+	rng := NewRNG(17)
+	fill := func(n int) Acc {
+		var a Acc
+		for i := 0; i < n; i++ {
+			a.Add(rng.Float64()*1e6 - 3e5)
+		}
+		return a
+	}
+	for _, n := range []int{0, 1, 2, 537} { // empty and single-sample are the degenerate layouts
+		shard := fill(n)
+		data, err := json.Marshal(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded Acc
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		if decoded != shard {
+			t.Fatalf("n=%d: decode(encode(acc)) = %+v, want %+v", n, decoded, shard)
+		}
+		direct := fill(91)
+		viaJSON := direct // Acc is a value: copies are independent
+		direct.Merge(shard)
+		viaJSON.Merge(decoded)
+		if direct != viaJSON {
+			t.Fatalf("n=%d: merge of decoded shard %+v differs from in-memory merge %+v", n, viaJSON, direct)
+		}
+	}
+}
+
+func TestHistogramJSONRoundTripMerge(t *testing.T) {
+	rng := NewRNG(19)
+	fill := func(n int) *Histogram {
+		h := NewHistogram(0, 50, 8)
+		for i := 0; i < n; i++ {
+			h.Add(rng.Float64()*70 - 10) // spills both ends
+		}
+		return h
+	}
+	for _, n := range []int{0, 1, 400} {
+		shard := fill(n)
+		data, err := json.Marshal(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded := &Histogram{}
+		if err := json.Unmarshal(data, decoded); err != nil {
+			t.Fatal(err)
+		}
+		direct, viaJSON := fill(33), fill(0)
+		if err := viaJSON.Merge(direct); err != nil { // same fill(33) content via a second pass
+			t.Fatal(err)
+		}
+		if err := direct.Merge(shard); err != nil {
+			t.Fatal(err)
+		}
+		if err := viaJSON.Merge(decoded); err != nil {
+			t.Fatal(err)
+		}
+		if direct.Under != viaJSON.Under || direct.Over != viaJSON.Over || direct.Lo != viaJSON.Lo || direct.Hi != viaJSON.Hi {
+			t.Fatalf("n=%d: merged edges differ: %+v vs %+v", n, viaJSON, direct)
+		}
+		for i := range direct.Counts {
+			if direct.Counts[i] != viaJSON.Counts[i] {
+				t.Fatalf("n=%d bucket %d: merged %d via JSON, %d in memory", n, i, viaJSON.Counts[i], direct.Counts[i])
+			}
+		}
+	}
+	// An empty decoded histogram (zero-bucket layout) must still fail
+	// layout-checked merges loudly rather than silently dropping counts.
+	var empty Histogram
+	if err := fill(1).Merge(&empty); err == nil {
+		t.Error("merge with a layoutless histogram accepted")
+	}
+}
+
+func TestDistJSONRoundTripMerge(t *testing.T) {
+	rng := NewRNG(23)
+	fill := func(n int) *Dist {
+		d := &Dist{}
+		for i := 0; i < n; i++ {
+			d.Add(rng.Float64()*1e3 - 200)
+		}
+		return d
+	}
+	for _, n := range []int{0, 1, 311} {
+		shard := fill(n)
+		data, err := json.Marshal(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 && !bytes.Equal(data, []byte("[]")) {
+			t.Fatalf("empty Dist encodes as %s, want [] (canonical bytes must not depend on Add history)", data)
+		}
+		decoded := &Dist{}
+		if err := json.Unmarshal(data, decoded); err != nil {
+			t.Fatal(err)
+		}
+		if decoded.N() != shard.N() {
+			t.Fatalf("n=%d: decoded N = %d", n, decoded.N())
+		}
+		direct, viaJSON := fill(47), &Dist{}
+		viaJSON.Merge(direct)
+		direct.Merge(shard)
+		viaJSON.Merge(decoded)
+		if direct.N() != viaJSON.N() || direct.Mean() != viaJSON.Mean() || direct.Max() != viaJSON.Max() {
+			t.Fatalf("n=%d: merged stats differ: N %d/%d mean %v/%v", n, viaJSON.N(), direct.N(), viaJSON.Mean(), direct.Mean())
+		}
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			if got, want := viaJSON.Quantile(q), direct.Quantile(q); got != want {
+				t.Fatalf("n=%d quantile(%v): %v via JSON, %v in memory", n, q, got, want)
+			}
+		}
 	}
 }
 

@@ -41,6 +41,19 @@
 // Author campaign files by dumping a preset as a template:
 //
 //	go run ./cmd/fleetrun -preset smoke -dump > mycampaign.json
+//
+// -failures routes the structured trial-failure ledger (stable
+// fields only; stacks stay stderr-only) to a JSON artifact, so a
+// supervisor can collect failures without scraping stderr.
+//
+// Shard mode (-shard i/n) is how fleetd re-execs fleetrun as a
+// supervised worker: the process runs only shard i of the campaign's
+// n-shard plan (internal/fleet/shard.Plan — both sides compute the
+// same split), writes its checkpoint sidecar as the result artifact
+// (-checkpoint is required; there is no stdout result), and beats a
+// -heartbeat file after every completed trial. A ShardKill chaos
+// fault makes the process SIGKILL itself — real abrupt death, which
+// is the point.
 package main
 
 import (
@@ -56,6 +69,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/fleet/shard"
 )
 
 // Exit codes. Interruption is distinct from failure so CI and
@@ -84,6 +98,10 @@ type cliConfig struct {
 	resume       string
 	chaos        string
 	timeout      time.Duration
+	failures     string
+	shard        string
+	shardAttempt int
+	heartbeat    string
 }
 
 func main() {
@@ -104,6 +122,10 @@ func main() {
 	flag.StringVar(&cfg.resume, "resume", "", "resume from this checkpoint sidecar (must match the campaign and -seed; completed trials are skipped)")
 	flag.StringVar(&cfg.chaos, "chaos", "", "inject faults from this fleet.FaultPlan JSON file (testing the failure paths; never use for perf records)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, fmt.Sprintf("bound the campaign: after this duration, checkpoint and exit with code %d (0 = no bound)", exitTimeout))
+	flag.StringVar(&cfg.failures, "failures", "", "write the structured trial-failure ledger to this JSON path (stable fields only; stacks remain stderr-only)")
+	flag.StringVar(&cfg.shard, "shard", "", "run as shard i of an n-shard plan, as \"i/n\" (fleetd worker mode; requires -checkpoint)")
+	flag.IntVar(&cfg.shardAttempt, "shard-attempt", 1, "supervisor attempt number in shard mode (keys shard-level chaos faults)")
+	flag.StringVar(&cfg.heartbeat, "heartbeat", "", "write a liveness heartbeat to this path after every completed trial (shard mode)")
 	flag.Parse()
 
 	code, err := run(cfg)
@@ -212,6 +234,13 @@ func run(cfg cliConfig) (int, error) {
 		}
 	}()
 
+	// Shard mode executes the worker's slice and leaves its result in
+	// the checkpoint sidecar; the profile/output plumbing below is for
+	// whole-campaign runs only.
+	if cfg.shard != "" {
+		return runShardMode(cfg, camp, faults, resumeFrom, interrupt, &cause)
+	}
+
 	// The profile brackets exactly the campaign execution: flag
 	// parsing, campaign decoding and result rendering stay outside, so
 	// the profile answers "where do trial cycles go".
@@ -263,14 +292,13 @@ func run(cfg cliConfig) (int, error) {
 	}
 
 	// Failure-model bookkeeping goes to stderr, never into the
-	// canonical result bytes.
-	for _, tf := range res.TrialFailures {
-		verdict := "recovered by retry"
-		if tf.Terminal {
-			verdict = "TERMINAL: degraded to a counted failure"
+	// canonical result bytes; -failures additionally persists the
+	// stable fields as a structured artifact.
+	reportFailures(res.TrialFailures)
+	if cfg.failures != "" {
+		if err := fleet.WriteFailures(cfg.failures, camp.Name, cfg.seed, res.TrialFailures); err != nil {
+			return exitErr, fmt.Errorf("writing -failures artifact: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "fleetrun: trial panic: scenario %q replication %d attempt %d (%s): %s\n",
-			tf.Scenario, tf.Replication, tf.Attempt, verdict, tf.Panic)
 	}
 	if res.CheckpointWriteFailures > 0 {
 		fmt.Fprintf(os.Stderr, "fleetrun: %d checkpoint write(s) failed and were retried at the next interval\n", res.CheckpointWriteFailures)
@@ -292,5 +320,95 @@ func run(cfg cliConfig) (int, error) {
 		return 0, nil
 	}
 	fmt.Println(res.Table().Render())
+	return 0, nil
+}
+
+// reportFailures narrates the trial-failure ledger on stderr — the
+// only place stack-free panic bookkeeping is human-visible by
+// default.
+func reportFailures(fails []fleet.TrialFailure) {
+	for _, tf := range fails {
+		verdict := "recovered by retry"
+		if tf.Terminal {
+			verdict = "TERMINAL: degraded to a counted failure"
+		}
+		fmt.Fprintf(os.Stderr, "fleetrun: trial panic: scenario %q replication %d attempt %d (%s): %s\n",
+			tf.Scenario, tf.Replication, tf.Attempt, verdict, tf.Panic)
+	}
+}
+
+// runShardMode is the fleetd worker: execute shard i of the n-shard
+// plan, leave the result in the checkpoint sidecar, beat a heartbeat
+// file, and — under a ShardKill fault — SIGKILL ourselves so the
+// supervisor sees a genuinely abrupt death.
+func runShardMode(cfg cliConfig, camp fleet.Campaign, faults *fleet.FaultPlan, resumeFrom *fleet.Checkpoint, interrupt <-chan struct{}, cause *atomic.Int32) (int, error) {
+	var idx, n int
+	if _, err := fmt.Sscanf(cfg.shard, "%d/%d", &idx, &n); err != nil {
+		return exitErr, fmt.Errorf("-shard wants \"i/n\", got %q", cfg.shard)
+	}
+	if cfg.checkpoint == "" {
+		return exitErr, fmt.Errorf("-shard requires -checkpoint (the sidecar is the shard's result artifact)")
+	}
+	// Both sides of the re-exec compute the same plan from (campaign,
+	// n); the worker needs only its index.
+	plan, err := shard.Plan(camp, n)
+	if err != nil {
+		return exitErr, err
+	}
+	if idx < 0 || idx >= n {
+		return exitErr, fmt.Errorf("-shard index %d outside [0, %d)", idx, n)
+	}
+	var progress func(int)
+	if cfg.heartbeat != "" {
+		seq := 0
+		progress = func(completed int) {
+			seq++
+			if err := shard.WriteHeartbeat(cfg.heartbeat, shard.Heartbeat{
+				Shard: idx, Attempt: cfg.shardAttempt, Completed: completed, Seq: seq,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "fleetrun: heartbeat write failed: %v\n", err)
+			}
+		}
+	}
+	ck, fails, err := fleet.RunShard(camp, fleet.Options{
+		Workers:         cfg.workers,
+		Seed:            cfg.seed,
+		DisablePooling:  !cfg.pool,
+		CheckpointPath:  cfg.checkpoint,
+		CheckpointEvery: cfg.every,
+		ResumeFrom:      resumeFrom,
+		Interrupt:       interrupt,
+		Faults:          faults,
+		Progress:        progress,
+	}, fleet.ShardRun{
+		Index: idx, Count: n, Attempt: cfg.shardAttempt, Ranges: plan[idx].Ranges,
+		Die: func() {
+			// A real SIGKILL, not an error return: the supervisor must
+			// observe abrupt process death. The empty select holds the
+			// goroutine until delivery lands.
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {}
+		},
+	})
+	reportFailures(fails)
+	// The ledger is written even for an interrupted shard: a partial
+	// artifact beats scraping stderr, and the supervisor tolerates its
+	// absence either way.
+	if cfg.failures != "" {
+		if werr := fleet.WriteFailures(cfg.failures, camp.Name, cfg.seed, fails); werr != nil {
+			fmt.Fprintf(os.Stderr, "fleetrun: writing -failures artifact: %v\n", werr)
+		}
+	}
+	if err != nil {
+		var ie *fleet.InterruptedError
+		if errors.As(err, &ie) {
+			if code := int(cause.Load()); code != 0 {
+				return code, err
+			}
+			return exitInterrupted, err
+		}
+		return exitErr, err
+	}
+	fmt.Fprintf(os.Stderr, "fleetrun: shard %d/%d complete: %d trials in sidecar %s\n", idx, n, ck.Completed, cfg.checkpoint)
 	return 0, nil
 }

@@ -231,13 +231,20 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 }
 
 // WriteFileAtomic is the temp+rename discipline every persisted
-// artifact goes through (checkpoints here, result JSON in
-// cmd/fleetrun): the bytes are written to a temp file in the target's
-// directory, synced, and renamed over the destination, so an
-// interrupted writer leaves either the old contents or the new —
-// never a truncated file a resume or a cmp gate could misread.
+// artifact goes through (checkpoints here, result and failure JSON in
+// cmd/fleetrun, shard sidecars under fleetd): the bytes are written
+// to a temp file in the target's directory, synced, renamed over the
+// destination, and the directory itself is then fsynced — so an
+// interrupted writer leaves either the old contents or the new,
+// never a truncated file a resume or a cmp gate could misread, and a
+// machine crash right after the rename cannot resurrect the old
+// directory entry (the rename is durable only once its directory
+// metadata is). On any failure the temp file is removed: a partial
+// artifact is never visible under the target path or left littering
+// its directory.
 func WriteFileAtomic(path string, data []byte) error {
-	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
@@ -259,5 +266,20 @@ func WriteFileAtomic(path string, data []byte) error {
 		os.Remove(tmp)
 		return werr
 	}
-	return nil
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+// Errors are reported, not swallowed: the caller's artifact exists
+// but its durability is unknown.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }

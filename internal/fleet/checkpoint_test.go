@@ -300,6 +300,101 @@ func TestCheckpointSaveAtomicOverwrite(t *testing.T) {
 	}
 }
 
+// WriteFileAtomic's failure contract: when the write cannot complete
+// — here, the rename fails because the target is a directory — the
+// temp file is removed, the error surfaces, and whatever previously
+// lived at adjacent paths is untouched. A partial artifact must never
+// be visible NOR left littering the directory for the next ReadDir
+// (CI's cmp gates glob these directories).
+func TestWriteFileAtomicFailurePaths(t *testing.T) {
+	t.Run("rename blocked by directory", func(t *testing.T) {
+		dir := t.TempDir()
+		target := filepath.Join(dir, "artifact.json")
+		if err := os.Mkdir(target, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		err := WriteFileAtomic(target, []byte("data"))
+		if err == nil {
+			t.Fatal("rename over a directory succeeded")
+		}
+		entries, rerr := os.ReadDir(dir)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if len(entries) != 1 || entries[0].Name() != "artifact.json" || !entries[0].IsDir() {
+			names := make([]string, len(entries))
+			for i, e := range entries {
+				names[i] = e.Name()
+			}
+			t.Fatalf("failed write left droppings: %v", names)
+		}
+	})
+	t.Run("missing parent directory", func(t *testing.T) {
+		err := WriteFileAtomic(filepath.Join(t.TempDir(), "nope", "artifact.json"), []byte("data"))
+		if err == nil {
+			t.Fatal("write into a missing directory succeeded")
+		}
+	})
+	t.Run("overwrite preserves old contents on failure", func(t *testing.T) {
+		// Sanity for the success path first, then verify a failed
+		// sibling write cannot corrupt an existing artifact.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "artifact.json")
+		if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+		blocked := filepath.Join(dir, "blocked.json")
+		if err := os.Mkdir(blocked, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFileAtomic(blocked, []byte("v2")); err == nil {
+			t.Fatal("expected failure")
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != "v1" {
+			t.Fatalf("existing artifact perturbed: %q, %v", got, err)
+		}
+	})
+}
+
+// The -failures artifact: stable fields only, never null, stacks
+// excluded, round-trips through the strict decoder.
+func TestFailuresArtifactRoundTrip(t *testing.T) {
+	fails := []TrialFailure{
+		{Scenario: "s", Replication: 2, Attempt: 1, Panic: "boom", Stack: "goroutine 7 [running]"},
+		{Scenario: "s", Replication: 2, Attempt: 2, Terminal: true, Panic: "boom"},
+	}
+	data, err := EncodeFailures("camp", 7, fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "goroutine") {
+		t.Fatal("stack trace leaked into the failures artifact")
+	}
+	art, err := DecodeFailures(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Campaign != "camp" || art.Seed != 7 || len(art.Failures) != 2 {
+		t.Fatalf("round trip mangled the artifact: %+v", art)
+	}
+	if got := art.Failures[1]; got.Attempt != 2 || !got.Terminal || got.Stack != "" {
+		t.Fatalf("failure fields mangled: %+v", got)
+	}
+
+	// A clean run encodes an empty array, not null.
+	data, err = EncodeFailures("camp", 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"failures": []`) {
+		t.Fatalf("clean ledger should encode []: %s", data)
+	}
+	if _, err := DecodeFailures(strings.NewReader(`{"campaign":"c","sed":1}`)); err == nil || !strings.Contains(err.Error(), "sed") {
+		t.Errorf("typo field accepted: %v", err)
+	}
+}
+
 // LoadCheckpoint must reject unknown fields like campaign files do.
 func TestLoadCheckpointRejectsUnknownFields(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.json")

@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FailuresArtifact is the stable JSON schema of `fleetrun -failures`:
+// the structured trial-failure ledger a service can collect without
+// scraping stderr. It carries only deterministic fields — scenario,
+// replication, attempt, terminal flag, panic message — never stack
+// traces, which stay stderr-only by contract (goroutine numbers and
+// addresses would make the artifact unreproducible).
+type FailuresArtifact struct {
+	Campaign string         `json:"campaign"`
+	Seed     uint64         `json:"seed"`
+	Failures []TrialFailure `json:"failures"`
+}
+
+// EncodeFailures renders the artifact: indented, trailing newline,
+// `"failures": []` (never null) when the run was clean, so consumers
+// can rely on the field's shape.
+func EncodeFailures(campaign string, seed uint64, fails []TrialFailure) ([]byte, error) {
+	a := FailuresArtifact{Campaign: campaign, Seed: seed, Failures: fails}
+	if a.Failures == nil {
+		a.Failures = []TrialFailure{}
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeFailures reads an artifact back, rejecting unknown fields
+// like every other decoded artifact in the repo: a file from a future
+// schema fails loudly rather than dropping fields silently.
+func DecodeFailures(r io.Reader) (*FailuresArtifact, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var a FailuresArtifact
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("fleet: decoding failures artifact: %w", err)
+	}
+	return &a, nil
+}
+
+// WriteFailures writes the artifact atomically (temp + rename + dir
+// fsync, like every persisted artifact).
+func WriteFailures(path, campaign string, seed uint64, fails []TrialFailure) error {
+	data, err := EncodeFailures(campaign, seed, fails)
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, data)
+}

@@ -55,6 +55,46 @@ type WorkerDelay struct {
 	PerTrialMS int `json:"per_trial_ms"`
 }
 
+// Shard fault modes (ShardFault.Mode).
+const (
+	// ShardKill dies abruptly — no final checkpoint, no drain — after
+	// AfterTrials new completions: the deterministic stand-in for a
+	// SIGKILLed shard worker. Under RunShard with a Die hook (the
+	// re-exec'd fleetrun sets one) the death is a literal self-SIGKILL;
+	// without one the run stops recording, drains in flight and
+	// returns ErrShardKilled.
+	ShardKill = "kill"
+	// ShardBlackhole wedges the shard after AfterTrials new
+	// completions: heartbeats and checkpoint writes stop cold but the
+	// process stays alive and silent until killed — the supervisor
+	// must detect it by heartbeat deadline, not by exit.
+	ShardBlackhole = "blackhole"
+	// ShardSlow sleeps every worker DelayMS per trial — wall-clock
+	// only, never results. A slow-but-heartbeating shard must NOT be
+	// declared dead; this mode exists to prove that.
+	ShardSlow = "slow"
+)
+
+// ShardFault is a shard-scoped fault, active only under RunShard (the
+// plain Run executor has no shard identity and ignores them). Faults
+// are keyed by (shard index, supervisor attempt): by default only the
+// first attempt is sabotaged, so a retried shard recovers and the
+// merged bytes stay clean; Attempts larger than the supervisor's
+// retry budget forces terminal degradation instead.
+type ShardFault struct {
+	Shard int    `json:"shard"`
+	Mode  string `json:"mode"`
+	// AfterTrials arms kill/blackhole after this many trials complete
+	// in the attempt (new completions, not restored ones) — and after
+	// their checkpoint write, so resume sees exactly this many.
+	AfterTrials int `json:"after_trials,omitempty"`
+	// Attempts is how many consecutive supervisor attempts the fault
+	// fires on (default 1).
+	Attempts int `json:"attempts,omitempty"`
+	// DelayMS is the per-trial sleep of ShardSlow.
+	DelayMS int `json:"delay_ms,omitempty"`
+}
+
 // FaultPlan is the declarative chaos schedule a run executes against.
 type FaultPlan struct {
 	Panics []PanicFault `json:"panics,omitempty"`
@@ -63,6 +103,10 @@ type FaultPlan struct {
 	// writes share the counter.
 	CheckpointWrites []int         `json:"checkpoint_writes,omitempty"`
 	Delays           []WorkerDelay `json:"delays,omitempty"`
+	// Shards lists shard-scoped faults (kill, blackhole, slow). Only
+	// RunShard consults them; the supervisor validates shard indices
+	// against its shard count.
+	Shards []ShardFault `json:"shards,omitempty"`
 	// KillAfterTrials interrupts the run — exactly like
 	// Options.Interrupt firing — once this many trials have been
 	// dispatched in this run. The count is enforced synchronously in
@@ -114,6 +158,26 @@ func (p *FaultPlan) Validate(c Campaign) error {
 	if p.KillAfterTrials < 0 {
 		return fmt.Errorf("fleet: fault plan: negative kill_after_trials %d", p.KillAfterTrials)
 	}
+	for _, sf := range p.Shards {
+		if sf.Shard < 0 {
+			return fmt.Errorf("fleet: fault plan: negative shard index %d", sf.Shard)
+		}
+		if sf.Attempts < 0 {
+			return fmt.Errorf("fleet: fault plan: negative shard fault attempts %d", sf.Attempts)
+		}
+		switch sf.Mode {
+		case ShardKill, ShardBlackhole:
+			if sf.AfterTrials < 1 {
+				return fmt.Errorf("fleet: fault plan: shard %d %s fault needs after_trials >= 1 (got %d)", sf.Shard, sf.Mode, sf.AfterTrials)
+			}
+		case ShardSlow:
+			if sf.DelayMS < 0 {
+				return fmt.Errorf("fleet: fault plan: shard %d slow fault has negative delay %dms", sf.Shard, sf.DelayMS)
+			}
+		default:
+			return fmt.Errorf("fleet: fault plan: unknown shard fault mode %q (have %q, %q, %q)", sf.Mode, ShardKill, ShardBlackhole, ShardSlow)
+		}
+	}
 	return nil
 }
 
@@ -143,11 +207,18 @@ type faultInjector struct {
 	ckptFails map[int]bool
 	delays    map[int]time.Duration
 	killAfter int
+	// Shard-scoped faults, armed only when compileFaults sees a
+	// ShardRun whose (index, attempt) a plan entry matches.
+	shardKillAt  int // kill abruptly after this many new completions (0 = never)
+	shardWedgeAt int // blackhole after this many new completions (0 = never)
+	shardSlow    time.Duration
 }
 
 // compileFaults validates the plan against the campaign and indexes
-// it for the executor. A nil plan compiles to a nil injector.
-func compileFaults(p *FaultPlan, c Campaign) (*faultInjector, error) {
+// it for the executor. A nil plan compiles to a nil injector. sh is
+// the shard identity of a RunShard invocation (nil under plain Run):
+// shard faults arm only when their (shard, attempt) matches it.
+func compileFaults(p *FaultPlan, c Campaign, sh *ShardRun) (*faultInjector, error) {
 	if p == nil {
 		return nil, nil
 	}
@@ -176,6 +247,25 @@ func compileFaults(p *FaultPlan, c Campaign) (*faultInjector, error) {
 	}
 	for _, d := range p.Delays {
 		inj.delays[d.Worker] = time.Duration(d.PerTrialMS) * time.Millisecond
+	}
+	if sh != nil {
+		for _, sf := range p.Shards {
+			attempts := sf.Attempts
+			if attempts == 0 {
+				attempts = 1
+			}
+			if sf.Shard != sh.Index || sh.Attempt > attempts {
+				continue
+			}
+			switch sf.Mode {
+			case ShardKill:
+				inj.shardKillAt = sf.AfterTrials
+			case ShardBlackhole:
+				inj.shardWedgeAt = sf.AfterTrials
+			case ShardSlow:
+				inj.shardSlow = time.Duration(sf.DelayMS) * time.Millisecond
+			}
+		}
 	}
 	return inj, nil
 }
@@ -216,4 +306,31 @@ func (f *faultInjector) killAfterTrials() int {
 		return 0
 	}
 	return f.killAfter
+}
+
+// delayShardTrial sleeps every worker per trial when a slow-shard
+// fault is armed (wall-clock only, never results).
+func (f *faultInjector) delayShardTrial() {
+	if f == nil {
+		return
+	}
+	if f.shardSlow > 0 {
+		time.Sleep(f.shardSlow)
+	}
+}
+
+// shardFaultAt reports the armed shard fault firing at the n-th new
+// completion of this attempt ("" = none). Kill wins a tie: an abrupt
+// death subsumes a wedge.
+func (f *faultInjector) shardFaultAt(n int) string {
+	if f == nil {
+		return ""
+	}
+	if f.shardKillAt > 0 && n == f.shardKillAt {
+		return ShardKill
+	}
+	if f.shardWedgeAt > 0 && n == f.shardWedgeAt {
+		return ShardBlackhole
+	}
+	return ""
 }

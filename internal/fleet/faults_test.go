@@ -179,7 +179,7 @@ func TestPanicQuarantinesPooledCluster(t *testing.T) {
 	}
 	inj, err := compileFaults(&FaultPlan{
 		Panics: []PanicFault{{Scenario: camp.Scenarios[0].Name, Replication: 0, Point: PointSubmit}},
-	}, camp)
+	}, camp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,6 +70,14 @@ type Options struct {
 	// Faults is the chaos-injection plan (faults.go); nil injects
 	// nothing.
 	Faults *FaultPlan
+	// Progress, when non-nil, is called after every completed trial
+	// (and its checkpoint write, if due) with the cumulative
+	// completed-trial count, restored trials included. Shard workers
+	// hang their heartbeats here; a blackhole fault freezes these
+	// calls along with the checkpoint writes. Called from the
+	// checkpointer goroutine — keep it fast and do not call back into
+	// the run.
+	Progress func(completed int)
 }
 
 // TrialFailure is the structured record of one panicking trial
@@ -77,14 +85,17 @@ type Options struct {
 // Failures ride on CampaignResult outside the canonical JSON bytes —
 // stack traces embed goroutine numbers and addresses, which would
 // break the byte-determinism contract — and checkpoints likewise
-// persist only the per-scenario failure counts.
+// persist only the per-scenario failure counts. The json tags are the
+// stable artifact schema of `fleetrun -failures`: every field but
+// Stack, which is deliberately excluded (nondeterministic, and
+// stderr-only by contract).
 type TrialFailure struct {
-	Scenario    string
-	Replication int
-	Attempt     int  // 1-based
-	Terminal    bool // the retry budget is exhausted; the trial degraded to a counted failure
-	Panic       string
-	Stack       string
+	Scenario    string `json:"scenario"`
+	Replication int    `json:"replication"`
+	Attempt     int    `json:"attempt"` // 1-based
+	Terminal    bool   `json:"terminal"` // the retry budget is exhausted; the trial degraded to a counted failure
+	Panic       string `json:"panic"`
+	Stack       string `json:"-"`
 }
 
 // InterruptedError reports a run stopped by Options.Interrupt or a
@@ -218,11 +229,79 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	st, err := execute(c, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &CampaignResult{Campaign: c.Name, Seed: opt.Seed, CheckpointWriteFailures: st.writeFailures}
+	i := 0
+	for _, s := range c.Scenarios {
+		agg := st.partials[i]
+		i++
+		for rep := 1; rep < s.Replications; rep++ {
+			if err := agg.Merge(st.partials[i]); err != nil {
+				return nil, err
+			}
+			i++
+		}
+		res.Scenarios = append(res.Scenarios, agg)
+	}
+	res.TrialFailures = st.failures
+	return res, nil
+}
+
+// runShard is RunShard past validation: the same executor restricted
+// to the shard's ranges, returning the final checkpoint — the
+// supervisor's merge input — instead of a reduced result.
+func runShard(c Campaign, opt Options, sh *ShardRun) (*Checkpoint, []TrialFailure, error) {
+	st, err := execute(c, opt, sh)
+	if err != nil {
+		var fails []TrialFailure
+		if st != nil {
+			fails = st.failures
+		}
+		return nil, fails, err
+	}
+	if st.finalCkErr != nil {
+		return nil, st.failures, fmt.Errorf("fleet: shard %d completed but its final checkpoint write failed: %w", sh.Index, st.finalCkErr)
+	}
+	return buildCheckpoint(c, st.hash, opt.Seed, st.partials, st.completed), st.failures, nil
+}
+
+// trialRef addresses one trial in the campaign's scenario-major
+// trial-index order.
+type trialRef struct {
+	scenario int
+	rep      int
+}
+
+// runState is what execute hands back to Run / runShard for their
+// respective reductions.
+type runState struct {
+	partials      []*ScenarioResult
+	completed     Bitmap
+	failures      []TrialFailure // flattened, trial-index order
+	hash          uint64
+	writeFailures int
+	finalCkErr    error
+}
+
+// Shard death states, owned by the checkpointer goroutine; the main
+// goroutine reads them only after <-checkpointerDone.
+const (
+	stateAlive = iota
+	stateKilled
+	stateWedged
+)
+
+// execute runs the campaign's trials — all of them (sh == nil), or a
+// shard's ranges — and leaves the reduction to the caller.
+func execute(c Campaign, opt Options, sh *ShardRun) (*runState, error) {
 	comp, err := compileCampaign(c, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
-	inj, err := compileFaults(opt.Faults, c)
+	inj, err := compileFaults(opt.Faults, c, sh)
 	if err != nil {
 		return nil, err
 	}
@@ -234,18 +313,32 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	type trialRef struct {
-		scenario int
-		rep      int
-	}
 	trials := make([]trialRef, 0, c.Trials())
 	for si, s := range c.Scenarios {
 		for rep := 0; rep < s.Replications; rep++ {
 			trials = append(trials, trialRef{scenario: si, rep: rep})
 		}
 	}
-	if workers > len(trials) {
-		workers = len(trials)
+	// target marks the trials this run owns: everything, or the
+	// shard's ranges. Out-of-target trials are never dispatched and
+	// never counted toward completion.
+	target := NewBitmap(len(trials))
+	if sh == nil {
+		for ti := range trials {
+			target.Set(ti)
+		}
+	} else {
+		base := 0
+		for si, s := range c.Scenarios {
+			for rep := sh.Ranges[si].Lo; rep < sh.Ranges[si].Hi; rep++ {
+				target.Set(base + rep)
+			}
+			base += s.Replications
+		}
+	}
+	targetN := target.Count()
+	if workers > targetN {
+		workers = targetN
 	}
 
 	// Each worker writes only its own trial's slots, so the slices
@@ -342,10 +435,19 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 		return nil
 	}
 	checkpointerDone := make(chan struct{})
+	dead := stateAlive
 	go func() {
 		defer close(checkpointerDone)
 		n := 0
 		for ti := range done {
+			// A killed or wedged shard records nothing further: the
+			// channel still drains (workers must not block) but the
+			// bitmap, the sidecar and the heartbeats are frozen at
+			// the fault point, which is what makes retry-from-
+			// checkpoint deterministic.
+			if dead != stateAlive {
+				continue
+			}
 			completed.Set(ti)
 			n++
 			// A failed periodic write is tolerated — counted, retried
@@ -353,6 +455,22 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 			// kill the campaign the checkpoint exists to protect.
 			if opt.CheckpointPath != "" && n%every == 0 {
 				_ = writeCheckpoint()
+			}
+			if opt.Progress != nil {
+				opt.Progress(completed.Count())
+			}
+			// Shard faults fire on the n-th NEW completion, after its
+			// checkpoint write, so the sidecar holds exactly n trials
+			// when the shard dies.
+			switch inj.shardFaultAt(n) {
+			case ShardKill:
+				if sh != nil && sh.Die != nil {
+					sh.Die() // exec workers self-SIGKILL here and never return
+				}
+				dead = stateKilled
+				trip() // stop dispatch; in-flight trials drain unrecorded
+			case ShardBlackhole:
+				dead = stateWedged // keep running, silently
 			}
 		}
 	}()
@@ -367,6 +485,7 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 			tw.faults = inj
 			for ti := range work {
 				inj.delayWorker(worker)
+				inj.delayShardTrial()
 				ref := trials[ti]
 				partials[ti], failures[ti], errs[ti] = tw.runTrialIsolated(ref.scenario, ref.rep, attempts)
 				if errs[ti] == nil {
@@ -378,7 +497,7 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 	dispatched := 0
 dispatch:
 	for ti := range trials {
-		if restored.Get(ti) {
+		if !target.Get(ti) || restored.Get(ti) {
 			continue
 		}
 		// The chaos kill counts dispatches synchronously right here,
@@ -408,18 +527,38 @@ dispatch:
 	close(done)
 	<-checkpointerDone
 
+	st := &runState{partials: partials, completed: completed, hash: hash, writeFailures: writeFailures}
+	for ti := range trials {
+		st.failures = append(st.failures, failures[ti]...)
+	}
+
+	// An abruptly-dead or wedged shard writes NO final checkpoint:
+	// the sidecar stays frozen at the fault point, exactly what a
+	// SIGKILLed process would leave behind.
+	switch dead {
+	case stateKilled:
+		return st, ErrShardKilled
+	case stateWedged:
+		// Linger silently — alive, no heartbeats, no exit — until the
+		// supervisor gives up on the heartbeat deadline and kills us
+		// (exec mode) or trips Interrupt (in-process mode).
+		if opt.Interrupt != nil {
+			<-opt.Interrupt
+		}
+		return st, ErrShardWedged
+	}
+
 	// The final checkpoint covers every drained trial no matter how
 	// the run ends — complete, interrupted, or about to abort on a
 	// trial error — so completed work is never thrown away.
-	var finalCkErr error
 	if opt.CheckpointPath != "" {
-		finalCkErr = writeCheckpoint()
+		st.finalCkErr = writeCheckpoint()
 	}
 
 	for ti, err := range errs {
 		if err != nil {
 			ref := trials[ti]
-			return nil, fmt.Errorf("fleet: scenario %q replication %d: %w", c.Scenarios[ref.scenario].Name, ref.rep, err)
+			return st, fmt.Errorf("fleet: scenario %q replication %d: %w", c.Scenarios[ref.scenario].Name, ref.rep, err)
 		}
 	}
 	interrupted := false
@@ -429,32 +568,24 @@ dispatch:
 	default:
 	}
 	// An interrupt that raced the last completion interrupted
-	// nothing: with every trial done the full result is returned.
-	if interrupted && completed.Count() < len(trials) {
-		if finalCkErr != nil {
-			return nil, fmt.Errorf("fleet: interrupted after %d/%d trials and the final checkpoint write failed: %w",
-				completed.Count(), len(trials), finalCkErr)
-		}
-		return nil, &InterruptedError{Completed: completed.Count(), Total: len(trials), Checkpoint: opt.CheckpointPath}
-	}
-
-	res := &CampaignResult{Campaign: c.Name, Seed: opt.Seed, CheckpointWriteFailures: writeFailures}
-	i := 0
-	for _, s := range c.Scenarios {
-		agg := partials[i]
-		i++
-		for rep := 1; rep < s.Replications; rep++ {
-			if err := agg.Merge(partials[i]); err != nil {
-				return nil, err
-			}
-			i++
-		}
-		res.Scenarios = append(res.Scenarios, agg)
-	}
+	// nothing: with every owned trial done the full result stands.
+	// Completion is counted over the run's target — a shard cares
+	// only about its own ranges, however many restored out-of-range
+	// partials a sidecar carried in.
+	doneN := 0
 	for ti := range trials {
-		res.TrialFailures = append(res.TrialFailures, failures[ti]...)
+		if target.Get(ti) && completed.Get(ti) {
+			doneN++
+		}
 	}
-	return res, nil
+	if interrupted && doneN < targetN {
+		if st.finalCkErr != nil {
+			return st, fmt.Errorf("fleet: interrupted after %d/%d trials and the final checkpoint write failed: %w",
+				doneN, targetN, st.finalCkErr)
+		}
+		return st, &InterruptedError{Completed: doneN, Total: targetN, Checkpoint: opt.CheckpointPath}
+	}
+	return st, nil
 }
 
 // makespanBuckets is the fixed histogram resolution. The layout must
@@ -609,16 +740,17 @@ func (w *trialWorker) runTrialAttempt(scenario, rep, attempt int) (res *Scenario
 	return res, nil, err
 }
 
+// histogramFor is the scenario's fixed histogram layout over the
+// given backing storage — the one shape every partial of a scenario
+// must share for the trial-index-order merge to be defined.
+func histogramFor(s *Scenario, counts []int64) metrics.Histogram {
+	return metrics.Histogram{Lo: 0, Hi: float64(s.Horizon), Counts: counts}
+}
+
 // failedTrialResult is the degraded aggregate of a trial whose every
-// attempt panicked: zero samples under the scenario's histogram
-// layout (so trial-index-order merging is untouched) and one counted
-// failure.
+// attempt panicked (see DegradedTrialResult).
 func (w *trialWorker) failedTrialResult(scenario int) *ScenarioResult {
-	s := w.comp[scenario].spec
-	tr := &trialResult{}
-	tr.hist = metrics.Histogram{Lo: 0, Hi: float64(s.Horizon), Counts: tr.counts[:]}
-	tr.res = ScenarioResult{Name: s.Name, MakespanHist: &tr.hist, Failures: 1}
-	return &tr.res
+	return DegradedTrialResult(w.comp[scenario].spec)
 }
 
 // runTrial executes one (scenario, replication) trial: a cluster per
@@ -676,7 +808,7 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 	crashes, cofail := c.Sched.Crashes()
 
 	tr := &trialResult{}
-	tr.hist = metrics.Histogram{Lo: 0, Hi: float64(s.Horizon), Counts: tr.counts[:]}
+	tr.hist = histogramFor(s, tr.counts[:])
 	tr.res = ScenarioResult{
 		Name:         s.Name,
 		Replications: 1,

@@ -1,0 +1,47 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/fleet"
+)
+
+// Heartbeat is the liveness record an exec-mode shard worker writes
+// (atomically, like every artifact) after each completed trial. The
+// supervisor does not trust the file's mtime — filesystems round it,
+// and a blackholed worker must look dead — it trusts Seq: a strictly
+// increasing counter, so any change proves the worker made progress
+// since the last poll. Completed rides along for status reporting.
+type Heartbeat struct {
+	Shard     int `json:"shard"`
+	Attempt   int `json:"attempt"`
+	Completed int `json:"completed"`
+	Seq       int `json:"seq"`
+}
+
+// WriteHeartbeat persists a heartbeat via the temp+rename discipline,
+// so a poller never reads a torn record.
+func WriteHeartbeat(path string, hb Heartbeat) error {
+	data, err := json.Marshal(hb)
+	if err != nil {
+		return err
+	}
+	return fleet.WriteFileAtomic(path, append(data, '\n'))
+}
+
+// ReadHeartbeat loads a heartbeat file. A missing file is an error
+// the poller treats as "no beat yet", not as a dead worker — workers
+// write their first beat only after their first completed trial.
+func ReadHeartbeat(path string) (Heartbeat, error) {
+	var hb Heartbeat
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return hb, err
+	}
+	if err := json.Unmarshal(data, &hb); err != nil {
+		return hb, fmt.Errorf("shard: decoding heartbeat %s: %w", path, err)
+	}
+	return hb, nil
+}

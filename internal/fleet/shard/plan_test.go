@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// campaign builds a minimal valid campaign with the given replication
+// counts, one scenario per entry. The smoke preset's scenario shape
+// is reused so validation passes without inventing profiles.
+func campaign(t *testing.T, reps ...int) fleet.Campaign {
+	t.Helper()
+	tmpl := fleet.MustPreset("smoke")
+	c := fleet.Campaign{Name: "plan-test"}
+	for i, r := range reps {
+		s := tmpl.Scenarios[i%len(tmpl.Scenarios)]
+		s.Name = s.Name + string(rune('a'+i))
+		s.Replications = r
+		c.Scenarios = append(c.Scenarios, s)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("test campaign invalid: %v", err)
+	}
+	return c
+}
+
+// The gating property the planner's doc references: for every shard
+// count, the union of the planned ranges covers every (scenario,
+// replication) exactly once — no trial lost, none double-run. The
+// edge cases are the point: fewer replications than shards,
+// single-replication scenarios, and uneven splits.
+func TestPlanCoversExactlyOnce(t *testing.T) {
+	for name, reps := range map[string][]int{
+		"replications < shards": {2, 1},
+		"single replication":    {1},
+		"uneven 7":              {7, 3},
+		"mixed":                 {5, 1, 8, 2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := campaign(t, reps...)
+			for shards := 1; shards <= 6; shards++ {
+				plan, err := Plan(c, shards)
+				if err != nil {
+					t.Fatalf("%d shards: %v", shards, err)
+				}
+				if len(plan) != shards {
+					t.Fatalf("%d shards: plan has %d assignments", shards, len(plan))
+				}
+				total := 0
+				for si, s := range c.Scenarios {
+					seen := make([]int, s.Replications)
+					for _, a := range plan {
+						r := a.Ranges[si]
+						if r.Lo < 0 || r.Hi < r.Lo || r.Hi > s.Replications {
+							t.Fatalf("%d shards: scenario %d range [%d,%d) invalid", shards, si, r.Lo, r.Hi)
+						}
+						for rep := r.Lo; rep < r.Hi; rep++ {
+							seen[rep]++
+						}
+					}
+					for rep, n := range seen {
+						if n != 1 {
+							t.Fatalf("%d shards: scenario %d replication %d covered %d times", shards, si, rep, n)
+						}
+					}
+					total += s.Replications
+				}
+				// Balance: range sizes differ by at most one per scenario.
+				for si, s := range c.Scenarios {
+					lo, hi := s.Replications, 0
+					for _, a := range plan {
+						n := a.Ranges[si].Len()
+						if n < lo {
+							lo = n
+						}
+						if n > hi {
+							hi = n
+						}
+					}
+					if hi-lo > 1 {
+						t.Errorf("%d shards: scenario %d unbalanced (sizes %d..%d)", shards, si, lo, hi)
+					}
+				}
+				planned := 0
+				for _, a := range plan {
+					planned += a.Trials()
+				}
+				if planned != total {
+					t.Fatalf("%d shards: plan holds %d trials, campaign has %d", shards, planned, total)
+				}
+			}
+		})
+	}
+}
+
+func TestPlanRejects(t *testing.T) {
+	c := campaign(t, 3)
+	if _, err := Plan(c, 0); err == nil {
+		t.Error("shard count 0 accepted")
+	}
+	if _, err := Plan(fleet.Campaign{}, 2); err == nil {
+		t.Error("invalid campaign accepted")
+	}
+}
+
+// Both sides of a re-exec must compute the identical plan from
+// (campaign, shards) alone — pin that it is a pure function.
+func TestPlanDeterministic(t *testing.T) {
+	c := fleet.MustPreset("e16-ablation-drain")
+	a, err := Plan(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for si := range a[i].Ranges {
+			if a[i].Ranges[si] != b[i].Ranges[si] {
+				t.Fatalf("plan not deterministic at shard %d scenario %d", i, si)
+			}
+		}
+	}
+}

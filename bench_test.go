@@ -626,3 +626,26 @@ func BenchmarkE16Ablation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE17Campaign: the full red-team matrix — 19 attacked
+// scenarios (5 models × 2 profiles + 9 kill-chain ablations), each a
+// campaign running concurrently with a legitimate mix, replicated 3×
+// by the fleet engine. The cost that matters is the attacked trial:
+// session provisioning, the victim's sentinel job, twelve probe
+// steps and their pacing gaps all ride the shared cluster clock, so
+// this row tracks the adversary engine's overhead on top of the
+// plain fleet drain (BenchmarkFleetCampaign).
+func BenchmarkE17Campaign(b *testing.B) {
+	b.ReportAllocs()
+	camp := fleet.MustPreset(fleet.PresetE17RedTeam)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dw", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(camp, fleet.Options{Workers: workers, Seed: 42}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,12 +1,13 @@
 // Command benchharness regenerates every table of the paper's
-// evaluation (experiments E1..E15 in DESIGN.md, plus the E16
-// measure-ablation matrix) and records the repo's performance
-// trajectory as BENCH_*.json files.
+// evaluation (experiments E1..E15 in DESIGN.md, the E16
+// measure-ablation matrix, and the E17 red-team campaign matrix) and
+// records the repo's performance trajectory as BENCH_*.json files.
 //
 // Table mode (default) prints the experiment tables:
 //
 //	go run ./cmd/benchharness
 //	go run ./cmd/benchharness -only E16
+//	go run ./cmd/benchharness -only E17       # attacker-model × config campaigns
 //	go run ./cmd/benchharness -only E4FLEET   # replicated fleet campaigns
 //
 // Bench mode runs the E1..E16 and Fleet Go benchmarks (bench_test.go) with
@@ -113,6 +114,7 @@ func main() {
 		"E14": experiments.E14CryptoMPIComparison,
 		"E15": experiments.E15MitigationTax,
 		"E16": experiments.E16AblationMatrix,
+		"E17": experiments.E17RedTeamMatrix,
 		// Fleet campaign re-expressions (replicated distributions).
 		"E4FLEET":  experiments.E4FleetReplicated,
 		"E16FLEET": experiments.E16FleetDrainReplicated,
@@ -120,7 +122,7 @@ func main() {
 	if *only != "" {
 		f, ok := all[strings.ToUpper(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q (E1..E16, E4FLEET, E16FLEET)\n", *only)
+			fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q (E1..E17, E4FLEET, E16FLEET)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Println(f().Render())

@@ -8,6 +8,14 @@
 //	go run ./cmd/hpcsim -profile baseline
 //	go run ./cmd/hpcsim -profile enhanced -ablate hidepid,privatedata
 //	go run ./cmd/hpcsim -measures
+//
+// With -attack <model> an adversary campaign (internal/attack) runs
+// against the busy cluster before the drain and its tick-stamped
+// event timeline is printed — the red-team counterpart of the
+// what-do-I-see views:
+//
+//	go run ./cmd/hpcsim -profile enhanced -attack kill-chain
+//	go run ./cmd/hpcsim -attack list
 package main
 
 import (
@@ -16,6 +24,8 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/attack"
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/metrics"
@@ -31,7 +41,17 @@ func main() {
 	jobs := flag.Int("jobs", 40, "jobs per user")
 	nodes := flag.Int("nodes", 8, "compute nodes")
 	seed := flag.Uint64("seed", 1, "workload RNG seed")
+	attackModel := flag.String("attack", "", "run an adversary campaign against the busy cluster (attacker model name, or 'list')")
 	flag.Parse()
+
+	if *attackModel == "list" {
+		t := metrics.NewTable("attacker-model registry", "model", "steps")
+		for _, m := range attack.Models() {
+			t.AddRow(m.Model, strings.Join(m.Steps, ", "))
+		}
+		fmt.Println(t.Render())
+		return
+	}
 
 	if *listMeasures {
 		t := metrics.NewTable("separation-measure registry", "measure", "paper", "summary")
@@ -131,6 +151,38 @@ func main() {
 		nt.AddRow(info.Name, info.UsedCores, info.OwnCores, usersCell)
 	}
 	fmt.Println(nt.Render())
+
+	if *attackModel != "" {
+		spec, err := attack.ModelByName(*attackModel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpcsim: %v\n", err)
+			os.Exit(2)
+		}
+		cs, err := spec.Compile()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpcsim: %v\n", err)
+			os.Exit(2)
+		}
+		// The campaign's own stream: derived from the workload seed but
+		// independent of it, mirroring the fleet executor's split.
+		arng := metrics.NewRNG(metrics.StreamSeed(*seed, attack.StreamIndex))
+		out, _, err := cs.Execute(c, arng, 100000)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpcsim: attack: %v\n", err)
+			os.Exit(1)
+		}
+		evlog := audit.NewLog()
+		for _, e := range out.Events {
+			evlog.Record(e)
+		}
+		fmt.Println(evlog.Table(out.Model + " vs " + cfg.Name).Render())
+		verdict := "contained: no non-residual leak"
+		if out.Success {
+			verdict = fmt.Sprintf("BROKE THROUGH at step %d", out.StepsToFirstLeak)
+		}
+		fmt.Printf("campaign %s on %s: %s; %d/%d steps leaked (%d residual), %d ticks used\n\n",
+			out.Model, cfg.Name, verdict, out.Leaks, out.Steps, out.ResidualLeaks, out.TicksUsed)
+	}
 
 	ticks := c.RunAll(100000)
 	crashes, cofail := c.Sched.Crashes()

@@ -8,10 +8,17 @@
 //	go run ./cmd/leakscan
 //	go run ./cmd/leakscan -profile enhanced -ablate ubf
 //
+// With -attack <model>, a composed adversary campaign
+// (internal/attack) also runs against each scanned cluster and its
+// per-step outcome is printed alongside the probe sweep:
+//
+//	go run ./cmd/leakscan -attack kill-chain
+//
 // Exit status: 0 if the full (un-ablated) enhanced configuration
 // shows no unexpected leaks (only the paper's three residual
-// channels), 1 otherwise. Ablated runs are informational and never
-// gate, since reopening channels is their point.
+// channels) and — when -attack is given — its campaign scores no
+// non-residual leak, 1 otherwise. Ablated runs are informational and
+// never gate, since reopening channels is their point.
 package main
 
 import (
@@ -20,7 +27,10 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/attack"
+	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -28,7 +38,24 @@ func main() {
 	cores := flag.Int("cores", 16, "cores per node")
 	profileName := flag.String("profile", "", "scan a single profile (baseline or enhanced; default: both)")
 	ablate := flag.String("ablate", "", "comma-separated measures to drop from the profile before scanning")
+	attackModel := flag.String("attack", "", "also run an adversary campaign (attacker model name from internal/attack) against each scanned cluster")
+	seed := flag.Uint64("seed", 1, "campaign RNG seed (only with -attack)")
 	flag.Parse()
+
+	var campaign *attack.Compiled
+	if *attackModel != "" {
+		spec, err := attack.ModelByName(*attackModel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leakscan: %v\n", err)
+			os.Exit(2)
+		}
+		cs, err := spec.Compile()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leakscan: %v\n", err)
+			os.Exit(2)
+		}
+		campaign = cs
+	}
 
 	topo := core.DefaultTopology()
 	topo.ComputeNodes = *computeNodes
@@ -73,6 +100,30 @@ func main() {
 		fmt.Println(rep.Table().Render())
 		if unexpected, _ := rep.Leaks(); c.Cfg.Name == "enhanced" && unexpected > 0 {
 			failed = true
+		}
+		if campaign != nil {
+			// A fresh cluster per campaign: the probe sweep above already
+			// provisioned its own victim and left artifacts behind.
+			ac, err := core.NewWithProfile(p, append([]core.Option{core.WithTopology(topo)}, opts...)...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "leakscan: attack %s: %v\n", c.Cfg.Name, err)
+				os.Exit(2)
+			}
+			arng := metrics.NewRNG(metrics.StreamSeed(*seed, attack.StreamIndex))
+			out, _, err := campaign.Execute(ac, arng, 100000)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "leakscan: attack %s: %v\n", c.Cfg.Name, err)
+				os.Exit(2)
+			}
+			evlog := audit.NewLog()
+			for _, e := range out.Events {
+				evlog.Record(e)
+			}
+			fmt.Println(evlog.Table(out.Model + " vs " + c.Cfg.Name).Render())
+			if len(opts) == 0 && c.Cfg.Name == "enhanced" && out.Success {
+				fmt.Fprintf(os.Stderr, "leakscan: %s campaign broke through enhanced at step %d\n", out.Model, out.StepsToFirstLeak)
+				failed = true
+			}
 		}
 	}
 	if failed {

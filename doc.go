@@ -14,7 +14,9 @@
 // Baseline/Enhanced presets are derived — NewWithProfile composes
 // ablated and extended variants with functional options. Then the
 // examples/ directory and cmd/benchharness, which regenerates every
-// experiment table including the E16 measure-ablation matrix. See
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// experiment table including the E16 measure-ablation matrix and the
+// E17 red-team campaign matrix (internal/attack: composed multi-step
+// adversaries running inside replicated fleet trials). See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
 package repro

@@ -1,0 +1,115 @@
+package attack
+
+import (
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Outcome is one executed campaign: the per-trial record fleet
+// aggregates into an Agg. Success means at least one NON-residual
+// leak — the paper concedes the residual channels, so an attacker
+// who only harvests those has not broken the separation claim.
+type Outcome struct {
+	Model string
+	// Steps is how many campaign steps executed.
+	Steps int
+	// Leaks counts leaked steps, residual included; ResidualLeaks is
+	// the residual share.
+	Leaks         int
+	ResidualLeaks int
+	// Success indicates at least one non-residual leak.
+	Success bool
+	// StepsToFirstLeak is the 1-based index of the first
+	// non-residual leaking step in campaign order; 0 = the chain
+	// never broke through.
+	StepsToFirstLeak int
+	// Detected indicates some step was denied by an enforcing
+	// control — the earliest signal a defender could alert on.
+	// DetectionTick is the cluster tick of the first denial (-1 when
+	// nothing was denied), StartTick the campaign's first tick, so
+	// DetectionTick-StartTick is the detection latency.
+	Detected      bool
+	DetectionTick int64
+	StartTick     int64
+	// TicksUsed is how many cluster ticks the campaign consumed
+	// (pacing gaps plus in-step waiting), all shared with the
+	// concurrently-draining mix.
+	TicksUsed int64
+	// StepLeaks counts non-residual leaks by step name — the E17
+	// diagonal's evidence: an ablation reopens exactly its own
+	// steps. ChannelLeaks counts ALL leaks (residual included) by
+	// audit channel.
+	StepLeaks    map[string]int
+	ChannelLeaks map[string]int
+	// Events is the campaign's tick-stamped attempt log.
+	Events []audit.Event
+}
+
+// Execute runs the campaign against a live cluster. The cluster may
+// (and in fleet trials does) carry a concurrently-running legitimate
+// mix: steps and pacing gaps advance the shared cluster clock, so
+// the attacker and the workload interleave. rng must be the
+// campaign's own stream (fleet derives it via StreamIndex from the
+// trial seed) — the engine draws exactly one gap per step from it,
+// regardless of cluster state, so draw counts never couple the
+// attacker's stream to the mix's.
+//
+// maxTicks bounds the pacing gaps (a campaign never idles past the
+// trial horizon); step-internal waits are small constants. Execution
+// is deterministic: same cluster state, spec and rng seed — same
+// Outcome, same audit.Report, byte for byte.
+func (cs *Compiled) Execute(c *core.Cluster, rng *metrics.RNG, maxTicks int) (*Outcome, *audit.Report, error) {
+	ss, err := newSession(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ss.close()
+	log := audit.NewLog()
+	start := c.Now()
+	out := &Outcome{
+		Model:         cs.Model,
+		DetectionTick: -1,
+		StartTick:     start,
+		StepLeaks:     make(map[string]int),
+		ChannelLeaks:  make(map[string]int),
+	}
+	rep := &audit.Report{ConfigName: c.Cfg.Name + " vs " + cs.Model}
+	for i, st := range cs.Steps {
+		// Lie low for 1..Gap ticks while the mix keeps draining. The
+		// draw happens unconditionally — one per step — so the
+		// attacker stream's consumption is a function of the spec
+		// alone; only the *advance* is budget-capped.
+		gap := 1 + rng.Intn(cs.Gap)
+		for g := 0; g < gap && c.Now()-start < int64(maxTicks); g++ {
+			c.Step()
+		}
+		p := st.Probe(ss)
+		leaked, detail := p.Attempt()
+		rep.Results = append(rep.Results, audit.Result{Probe: p, Leaked: leaked, Detail: detail})
+		log.Record(audit.Event{
+			Tick: c.Now(), Step: st.Name, Channel: st.Channel,
+			Residual: st.Residual, Leaked: leaked, Detail: detail,
+		})
+		out.Steps++
+		if leaked {
+			out.Leaks++
+			out.ChannelLeaks[string(st.Channel)]++
+			if st.Residual {
+				out.ResidualLeaks++
+			} else {
+				out.StepLeaks[st.Name]++
+				if !out.Success {
+					out.Success = true
+					out.StepsToFirstLeak = i + 1
+				}
+			}
+		} else if !out.Detected {
+			out.Detected = true
+			out.DetectionTick = c.Now()
+		}
+	}
+	out.TicksUsed = c.Now() - start
+	out.Events = log.Events()
+	return out, rep, nil
+}

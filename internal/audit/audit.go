@@ -80,6 +80,16 @@ func (s *Scanner) Len() int {
 	return len(s.probes)
 }
 
+// Reset empties the scanner for reuse across pooled trials: the
+// probe closures bind cluster state that a core.Cluster.Reset just
+// rewound, so a pooled trial re-registers its battery instead of
+// re-running stale captures.
+func (s *Scanner) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probes = s.probes[:0]
+}
+
 // Run executes every probe and returns the report, ordered by
 // (channel, name) for stable output.
 func (s *Scanner) Run(configName string) *Report {

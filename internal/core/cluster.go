@@ -289,6 +289,11 @@ func (c *Cluster) RunAll(maxTicks int) int {
 	return t
 }
 
+// Now returns the cluster's logical clock: ticks since construction
+// (or the last Reset). Attack campaigns stamp their audit events and
+// measure detection latency with it.
+func (c *Cluster) Now() int64 { return c.clock.Load() }
+
 // User bundles an account with its ready-to-use login credential.
 type User struct {
 	*ids.User

@@ -602,6 +602,7 @@ func All() []*metrics.Table {
 		E14CryptoMPIComparison(),
 		E15MitigationTax(),
 		E16AblationMatrix(),
+		E17RedTeamMatrix(),
 		E4FleetReplicated(),
 		E16FleetDrainReplicated(),
 	}

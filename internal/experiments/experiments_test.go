@@ -331,9 +331,9 @@ func TestE12Shape(t *testing.T) {
 
 func TestAllRuns(t *testing.T) {
 	tables := All()
-	// E1..E16 plus the two fleet-replicated campaign tables.
-	if len(tables) != 18 {
-		t.Fatalf("tables = %d, want 18", len(tables))
+	// E1..E17 plus the two fleet-replicated campaign tables.
+	if len(tables) != 19 {
+		t.Fatalf("tables = %d, want 19", len(tables))
 	}
 	for _, tb := range tables {
 		out := tb.Render()

@@ -194,6 +194,18 @@ func (ck *Checkpoint) ValidateAgainst(c Campaign, seed uint64) error {
 				return fmt.Errorf("fleet: checkpoint scenario %q replication %d: histogram layout does not match the scenario's horizon %d",
 					sc.Name, p.Replication, spec.Horizon)
 			}
+			// Attack presence must track the spec: a partial with an
+			// aggregate for an unattacked scenario (or vice versa) could
+			// not have come from this campaign's trials, and would also
+			// poison every later Merge in the reduction.
+			if (spec.Attack != nil) != (r.Attack != nil) {
+				return fmt.Errorf("fleet: checkpoint scenario %q replication %d: attack aggregate presence does not match the scenario spec",
+					sc.Name, p.Replication)
+			}
+			if r.Attack != nil && r.Attack.Trials != r.Replications {
+				return fmt.Errorf("fleet: checkpoint scenario %q replication %d: attack aggregate holds %d trials, partial holds %d",
+					sc.Name, p.Replication, r.Attack.Trials, r.Replications)
+			}
 		}
 		total += len(sc.Partials)
 	}

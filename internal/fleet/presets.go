@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -24,6 +25,11 @@ const (
 	// probe half of E16 is boolean, not statistical — it stays in
 	// internal/experiments.)
 	PresetE16AblationDrain = "e16-ablation-drain"
+	// PresetE17RedTeam is the attacker-model matrix: every attack
+	// model run against baseline and enhanced, plus the full kill
+	// chain against every single-measure ablation — each cell an
+	// adversary campaign concurrent with a legitimate mix.
+	PresetE17RedTeam = "e17-redteam"
 )
 
 // ExperimentTopology is the standard 8×16-core geometry the E1..E16
@@ -111,6 +117,44 @@ func e16AblationDrainCampaign() Campaign {
 	return c
 }
 
+// E17Mix is the legitimate workload the adversary hides behind in
+// e17-redteam: small enough that the victim's 1-core jobs backfill
+// promptly, busy enough that the cluster is never idle while the
+// campaign runs. No OOM faults — E17 measures leaks, not crashes.
+func E17Mix() workload.MixSpec {
+	return workload.MixSpec{
+		Users: 3, JobsPerUser: 12,
+		MinCores: 1, MaxCores: 4, MinDur: 1, MaxDur: 4, MemB: 1 << 20,
+	}
+}
+
+func e17RedTeamCampaign() Campaign {
+	c := Campaign{Name: PresetE17RedTeam}
+	add := func(name, profile string, ablate []string, spec attack.Spec) {
+		c.Scenarios = append(c.Scenarios, Scenario{
+			Name: name, Profile: profile, Ablate: ablate,
+			Topology: ExperimentTopology(), Workload: E17Mix(),
+			Attack:  &spec,
+			Horizon: 4000, Replications: 3,
+		})
+	}
+	// Every attacker model against the paper's two endpoint configs.
+	for _, m := range attack.Models() {
+		add("e17/"+m.Model+"/baseline", "baseline", nil, m)
+		add("e17/"+m.Model+"/enhanced", "enhanced", nil, m)
+	}
+	// The full kill chain against each single-measure ablation — the
+	// E16 diagonal re-asked as "which steps come back?".
+	chain, err := attack.ModelByName("kill-chain")
+	if err != nil {
+		panic(err) // the built-in model table names itself
+	}
+	for _, m := range core.Measures() {
+		add("e17/kill-chain/-"+m.Name, "enhanced", []string{m.Name}, chain)
+	}
+	return c
+}
+
 // LifecycleCampaign is the construction-heavy, drain-light campaign
 // behind BenchmarkTrialLifecycle and the pooled-allocation gate: a
 // full-size cluster geometry with a short two-user workload, so its
@@ -136,7 +180,7 @@ func LifecycleCampaign(replications int) Campaign {
 
 // Presets returns the built-in campaigns, in listing order.
 func Presets() []Campaign {
-	return []Campaign{smokeCampaign(), e4PolicyGridCampaign(), e16AblationDrainCampaign()}
+	return []Campaign{smokeCampaign(), e4PolicyGridCampaign(), e16AblationDrainCampaign(), e17RedTeamCampaign()}
 }
 
 // PresetByName resolves a built-in campaign.

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/metrics"
@@ -135,6 +136,10 @@ type ScenarioResult struct {
 	// Replications+Failures equals the scenario's configured count —
 	// a nonzero value marks the scenario's statistics as partial.
 	Failures int `json:"failures"`
+	// Attack aggregates the scenario's adversary campaigns — present
+	// exactly when the scenario spec carries an attack, so campaigns
+	// without one keep their pre-attack JSON bytes (omitempty).
+	Attack *attack.Agg `json:"attack,omitempty"`
 }
 
 // Merge folds another shard of the same scenario in. Merge order is
@@ -154,6 +159,12 @@ func (r *ScenarioResult) Merge(o *ScenarioResult) error {
 	r.Cofailures += o.Cofailures
 	r.Unfinished += o.Unfinished
 	r.Failures += o.Failures
+	if (r.Attack == nil) != (o.Attack == nil) {
+		return fmt.Errorf("fleet: scenario %q: one partial carries an attack aggregate and the other does not", r.Name)
+	}
+	if r.Attack != nil {
+		r.Attack.Merge(o.Attack)
+	}
 	return nil
 }
 
@@ -190,16 +201,36 @@ func (r *CampaignResult) JSON() ([]byte, error) {
 // Table renders the campaign summary in the repo's experiment-table
 // form.
 func (r *CampaignResult) Table() *metrics.Table {
-	t := metrics.NewTable(fmt.Sprintf("fleet campaign: %s", r.Campaign),
-		"scenario", "reps", "util mean", "util sd", "makespan mean", "makespan max", "crashes", "cofail", "unfinished", "failures")
+	// The attack column appears only when some scenario ran an
+	// adversary, so pre-attack campaigns render exactly as before.
+	attacked := false
+	for _, s := range r.Scenarios {
+		if s.Attack != nil {
+			attacked = true
+			break
+		}
+	}
+	cols := []string{"scenario", "reps", "util mean", "util sd", "makespan mean", "makespan max", "crashes", "cofail", "unfinished", "failures"}
+	if attacked {
+		cols = append(cols, "attack")
+	}
+	t := metrics.NewTable(fmt.Sprintf("fleet campaign: %s", r.Campaign), cols...)
 	for _, s := range r.Scenarios {
 		// The makespan tail comes from the Acc (exact across
 		// replications); the histogram's horizon-scaled buckets are too
 		// coarse to render as a quantile.
-		t.AddRow(s.Name, s.Replications,
+		row := []any{s.Name, s.Replications,
 			s.Util.Mean, s.Util.Std(),
 			s.Makespan.Mean, s.Makespan.Max,
-			s.Crashes, s.Cofailures, s.Unfinished, s.Failures)
+			s.Crashes, s.Cofailures, s.Unfinished, s.Failures}
+		if attacked {
+			cell := "—"
+			if s.Attack != nil {
+				cell = s.Attack.Summary()
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
 	}
 	t.AddNote("seed %d; trial streams keyed by (scenario, replication) — results are worker-count-invariant", r.Seed)
 	return t
@@ -368,6 +399,9 @@ func execute(c Campaign, opt Options, sh *ShardRun) (*runState, error) {
 				h := *r.MakespanHist
 				h.Counts = append([]int64(nil), h.Counts...)
 				r.MakespanHist = &h
+				if r.Attack != nil {
+					r.Attack = r.Attack.Clone()
+				}
 				partials[base+p.Replication] = &r
 				restored.Set(base + p.Replication)
 			}
@@ -624,6 +658,10 @@ type compiledScenario struct {
 	topo      core.Topology
 	stream    uint64   // scenario RNG stream: StreamSeed(master, fnv(Name))
 	userNames []string // "u0".."uN-1", shared read-only across workers
+	// attack is the scenario's adversary campaign resolved against
+	// the step registry once (nil when the spec has none), shared
+	// read-only across workers like the rest of the compile.
+	attack *attack.Compiled
 }
 
 // compileCampaign resolves every scenario once. Campaign.Validate has
@@ -653,6 +691,13 @@ func compileCampaign(c Campaign, master uint64) ([]compiledScenario, error) {
 			stream:    metrics.StreamSeed(master, nameHash(s.Name)),
 			userNames: names,
 		}
+		if s.Attack != nil {
+			ca, err := s.Attack.Compile()
+			if err != nil {
+				return nil, err
+			}
+			comp[i].attack = ca
+		}
 	}
 	return comp, nil
 }
@@ -664,12 +709,13 @@ func compileCampaign(c Campaign, master uint64) ([]compiledScenario, error) {
 // than a shared free-list: a cluster crossing goroutines would need
 // locking and would order-couple trials).
 type trialWorker struct {
-	comp    []compiledScenario
-	pooling bool
-	slots   map[int]*scenarioSlot
-	rng     metrics.RNG
-	faults  *faultInjector // nil = no chaos
-	attempt int            // current attempt number; keys chaos panic points
+	comp      []compiledScenario
+	pooling   bool
+	slots     map[int]*scenarioSlot
+	rng       metrics.RNG
+	attackRNG metrics.RNG    // the adversary's stream, separate from the mix's
+	faults    *faultInjector // nil = no chaos
+	attempt   int            // current attempt number; keys chaos panic points
 }
 
 // scenarioSlot is the per-(worker, scenario) reuse state.
@@ -804,7 +850,28 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 		}
 	}
 	w.faults.hitPoint(s.Name, rep, w.attempt, PointSubmit)
-	ticks := c.RunAll(s.Horizon)
+	// The adversary campaign (if any) runs against the live cluster
+	// right after submission — concurrent with the mix, which keeps
+	// draining through the campaign's pacing gaps and waits. Its RNG
+	// is a separate stream under the same trial seed (StreamIndex
+	// hop), so mix draws and attack draws never perturb each other.
+	var att *attack.Outcome
+	if cs.attack != nil {
+		w.attackRNG.Reseed(metrics.StreamSeed(metrics.StreamSeed(cs.stream, uint64(rep)), attack.StreamIndex))
+		var aerr error
+		att, _, aerr = cs.attack.Execute(c, &w.attackRNG, s.Horizon)
+		if aerr != nil {
+			return nil, aerr
+		}
+	}
+	// Drain whatever horizon the campaign left. Plain scenarios reach
+	// here with the clock still at 0, so this is the pre-attack
+	// RunAll(Horizon) byte for byte; attacked trials count the
+	// campaign's ticks toward the same horizon and makespan.
+	if remaining := s.Horizon - int(c.Now()); remaining > 0 {
+		c.RunAll(remaining)
+	}
+	ticks := int(c.Now())
 	crashes, cofail := c.Sched.Crashes()
 
 	tr := &trialResult{}
@@ -820,5 +887,10 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 	tr.res.Util.Add(c.Sched.Utilization())
 	tr.res.Makespan.Add(float64(ticks))
 	tr.res.MakespanHist.Add(float64(ticks))
+	if att != nil {
+		agg := attack.NewAgg()
+		agg.AddOutcome(att)
+		tr.res.Attack = agg
+	}
 	return &tr.res, nil
 }

@@ -25,6 +25,7 @@ import (
 	"hash/fnv"
 	"io"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -53,6 +54,14 @@ type Scenario struct {
 	Topology core.Topology `json:"topology,omitzero"`
 	// Workload is the job mix every trial submits.
 	Workload workload.MixSpec `json:"workload"`
+	// Attack optionally runs an adversary campaign concurrently with
+	// the mix: after submission the attacker executes its steps
+	// against the live cluster, paced by its own RNG stream (derived
+	// from the trial seed via attack.StreamIndex, so the mix's draws
+	// are untouched). Trials then carry an attack.Agg aggregate next
+	// to the drain statistics. Nil means no adversary — and a JSON
+	// encoding byte-identical to pre-attack campaigns.
+	Attack *attack.Spec `json:"attack,omitempty"`
 	// Horizon caps each trial at this many scheduler ticks.
 	Horizon int `json:"horizon"`
 	// Replications is how many independently-seeded trials to run.
@@ -119,6 +128,14 @@ func (s Scenario) Validate() error {
 	}
 	if err := s.Workload.Validate(); err != nil {
 		return fmt.Errorf("fleet: scenario %q: %w", s.Name, err)
+	}
+	// The attack spec resolves against the step registry here, so a
+	// campaign file naming an unknown step fails at load time like an
+	// unknown measure or an infeasible workload would.
+	if s.Attack != nil {
+		if err := s.Attack.Validate(); err != nil {
+			return fmt.Errorf("fleet: scenario %q: %w", s.Name, err)
+		}
 	}
 	// Feasibility against the geometry, so an impossible campaign is
 	// rejected here instead of erroring (or pending forever) mid-run

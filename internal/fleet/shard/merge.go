@@ -93,13 +93,16 @@ func mergeScenario(spec *fleet.Scenario, partials []*fleet.ScenarioResult, degra
 	return agg, nil
 }
 
-// clonePartial deep-copies a partial (the histogram's bucket slice is
-// the only reference field) so the merge target never aliases
-// checkpoint-owned storage.
+// clonePartial deep-copies a partial (the histogram's bucket slice
+// and the attack aggregate's maps are the reference fields) so the
+// merge target never aliases checkpoint-owned storage.
 func clonePartial(p *fleet.ScenarioResult) *fleet.ScenarioResult {
 	r := *p
 	h := *p.MakespanHist
 	h.Counts = append([]int64(nil), h.Counts...)
 	r.MakespanHist = &h
+	if r.Attack != nil {
+		r.Attack = r.Attack.Clone()
+	}
 	return &r
 }

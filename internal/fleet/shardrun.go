@@ -17,6 +17,8 @@ package fleet
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/attack"
 )
 
 // ErrShardKilled reports a shard run that died abruptly to an armed
@@ -121,10 +123,15 @@ func RunShard(c Campaign, opt Options, sh ShardRun) (*Checkpoint, []TrialFailure
 // cannot be completed — every panic retry exhausted, or its shard's
 // supervisor retry budget spent: zero samples under the scenario's
 // histogram layout (so trial-index-order merging is untouched) and
-// one counted failure.
+// one counted failure. An attacked scenario's degraded trial carries
+// an empty attack aggregate for the same reason: Merge requires every
+// partial of a scenario to agree on attack presence.
 func DegradedTrialResult(s *Scenario) *ScenarioResult {
 	tr := &trialResult{}
 	tr.hist = histogramFor(s, tr.counts[:])
 	tr.res = ScenarioResult{Name: s.Name, MakespanHist: &tr.hist, Failures: 1}
+	if s.Attack != nil {
+		tr.res.Attack = attack.NewAgg()
+	}
 	return &tr.res
 }

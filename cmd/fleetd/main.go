@@ -17,7 +17,11 @@
 //	GET  /campaigns/{id}/results   the canonical result JSON — byte-identical to a
 //	                               1-process `fleetrun -json` of the same (campaign, seed)
 //	GET  /campaigns/{id}/stream    NDJSON: merged scenario results as coverage completes
-//	GET  /healthz                  liveness (+ draining state)
+//	GET  /healthz                  structured state: accepting|draining, queue depth,
+//	                               running campaigns, active shards
+//	GET  /metrics                  Prometheus text: fleetd_* service counters, shard_*
+//	                               supervision counters, fleet_* trial counters
+//	GET  /debug/pprof/             runtime profiles; mounted only with -pprof
 //
 // A dead or wedged shard (no heartbeat progress) is killed and
 // relaunched from its own checkpoint sidecar with exponential
@@ -64,12 +68,13 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "per-attempt wall-clock bound (0 = unbounded)")
 		retries     = flag.Int("retries", shard.DefaultShardRetries, "shard relaunch budget before its missing trials degrade to counted failures")
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "how long a SIGTERM drain waits for in-flight shards to checkpoint")
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof (runtime profiles expose internals; off unless asked)")
 	)
 	flag.Parse()
-	os.Exit(run(*addr, *dir, *queueDepth, *concurrency, *shards, *workers, *execBin, *every, *hbTimeout, *deadline, *retries, *drainGrace))
+	os.Exit(run(*addr, *dir, *queueDepth, *concurrency, *shards, *workers, *execBin, *every, *hbTimeout, *deadline, *retries, *drainGrace, *pprofOn))
 }
 
-func run(addr, dir string, queueDepth, concurrency, shards_, workers int, execBin string, every int, hbTimeout, deadline time.Duration, retries int, drainGrace time.Duration) int {
+func run(addr, dir string, queueDepth, concurrency, shards_, workers int, execBin string, every int, hbTimeout, deadline time.Duration, retries int, drainGrace time.Duration, pprofOn bool) int {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "fleetd: "+format+"\n", args...)
 	}
@@ -92,6 +97,7 @@ func run(addr, dir string, queueDepth, concurrency, shards_, workers int, execBi
 		HeartbeatTimeout: hbTimeout,
 		AttemptDeadline:  deadline,
 		MaxShardRetries:  retries,
+		EnablePprof:      pprofOn,
 		Logf:             logf,
 	})
 	if err != nil {

@@ -38,6 +38,17 @@
 //	go run ./cmd/fleetrun -preset e4-policy-grid -cpuprofile cpu.pprof
 //	go tool pprof cpu.pprof
 //
+// -blockprofile and -mutexprofile capture contention the same way
+// (both bracket exactly the campaign, like -cpuprofile), and the
+// observability surfaces are deterministic by contract: -trace writes
+// one NDJSON span per trial phase — identity and tick bounds fixed by
+// (campaign, seed); only wall_ns varies — plus a per-scenario phase
+// cost table on stderr, and -metrics dumps the campaign's counter
+// registry as JSON. CI gates that enabling either changes no result
+// byte (see DESIGN.md §11):
+//
+//	go run ./cmd/fleetrun -preset smoke -trace trace.ndjson -metrics metrics.json
+//
 // Author campaign files by dumping a preset as a template:
 //
 //	go run ./cmd/fleetrun -preset smoke -dump > mycampaign.json
@@ -57,6 +68,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -70,6 +82,8 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/fleet/shard"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Exit codes. Interruption is distinct from failure so CI and
@@ -93,6 +107,10 @@ type cliConfig struct {
 	out          string
 	cpuprofile   string
 	memprofile   string
+	blockprofile string
+	mutexprofile string
+	trace        string
+	metricsOut   string
 	checkpoint   string
 	every        int
 	resume       string
@@ -117,6 +135,10 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "", "also write the result JSON to this path (atomically: temp + rename)")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the campaign run to this path")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write an allocation profile (after the run) to this path")
+	flag.StringVar(&cfg.blockprofile, "blockprofile", "", "write a goroutine blocking profile of the campaign run to this path")
+	flag.StringVar(&cfg.mutexprofile, "mutexprofile", "", "write a mutex contention profile of the campaign run to this path")
+	flag.StringVar(&cfg.trace, "trace", "", "write the deterministic trial-phase trace (NDJSON spans) to this path and print the phase cost table")
+	flag.StringVar(&cfg.metricsOut, "metrics", "", "write the campaign metrics registry (counters, gauges, histograms) as JSON to this path")
 	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write a resumable checkpoint sidecar to this path every -every trials and on exit")
 	flag.IntVar(&cfg.every, "every", 0, fmt.Sprintf("completed-trial cadence of periodic checkpoint writes (0 = %d)", fleet.DefaultCheckpointEvery))
 	flag.StringVar(&cfg.resume, "resume", "", "resume from this checkpoint sidecar (must match the campaign and -seed; completed trials are skipped)")
@@ -241,9 +263,9 @@ func run(cfg cliConfig) (int, error) {
 		return runShardMode(cfg, camp, faults, resumeFrom, interrupt, &cause)
 	}
 
-	// The profile brackets exactly the campaign execution: flag
+	// The profiles bracket exactly the campaign execution: flag
 	// parsing, campaign decoding and result rendering stay outside, so
-	// the profile answers "where do trial cycles go".
+	// each profile answers "where do trial cycles (or stalls) go".
 	if cfg.cpuprofile != "" {
 		f, err := os.Create(cfg.cpuprofile)
 		if err != nil {
@@ -253,6 +275,39 @@ func run(cfg cliConfig) (int, error) {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return exitErr, fmt.Errorf("cpuprofile: %v", err)
 		}
+	}
+	var blockF, mutexF *os.File
+	if cfg.blockprofile != "" {
+		f, err := os.Create(cfg.blockprofile)
+		if err != nil {
+			return exitErr, err
+		}
+		defer f.Close()
+		blockF = f
+		runtime.SetBlockProfileRate(1)
+	}
+	if cfg.mutexprofile != "" {
+		f, err := os.Create(cfg.mutexprofile)
+		if err != nil {
+			return exitErr, err
+		}
+		defer f.Close()
+		mutexF = f
+		runtime.SetMutexProfileFraction(1)
+	}
+
+	// The observability surfaces ride the same Options; both are nil
+	// unless asked for, which keeps the default hot path handle-free.
+	// The trace accumulates in memory and lands atomically after the
+	// run — a killed run never leaves a truncated NDJSON artifact.
+	var reg *obs.Registry
+	if cfg.metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var traceBuf bytes.Buffer
+	var tracer *obs.Tracer
+	if cfg.trace != "" {
+		tracer = obs.NewTracer(&traceBuf)
 	}
 
 	res, err := fleet.Run(camp, fleet.Options{
@@ -264,9 +319,23 @@ func run(cfg cliConfig) (int, error) {
 		ResumeFrom:      resumeFrom,
 		Interrupt:       interrupt,
 		Faults:          faults,
+		Metrics:         reg,
+		Tracer:          tracer,
 	})
 	if cfg.cpuprofile != "" {
 		pprof.StopCPUProfile() // stop before rendering so the profile holds trial cycles only
+	}
+	if blockF != nil {
+		runtime.SetBlockProfileRate(0)
+		if perr := pprof.Lookup("block").WriteTo(blockF, 0); perr != nil && err == nil {
+			return exitErr, fmt.Errorf("blockprofile: %v", perr)
+		}
+	}
+	if mutexF != nil {
+		runtime.SetMutexProfileFraction(0)
+		if perr := pprof.Lookup("mutex").WriteTo(mutexF, 0); perr != nil && err == nil {
+			return exitErr, fmt.Errorf("mutexprofile: %v", perr)
+		}
 	}
 	if err != nil {
 		var ie *fleet.InterruptedError
@@ -288,6 +357,24 @@ func run(cfg cliConfig) (int, error) {
 		runtime.GC() // report live objects, not transient garbage
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return exitErr, fmt.Errorf("memprofile: %v", err)
+		}
+	}
+
+	// Observability artifacts land atomically, and the human-facing
+	// phase table goes to stderr so stdout stays the canonical result.
+	if cfg.trace != "" {
+		if werr := fleet.WriteFileAtomic(cfg.trace, traceBuf.Bytes()); werr != nil {
+			return exitErr, fmt.Errorf("writing -trace artifact: %w", werr)
+		}
+		fmt.Fprintln(os.Stderr, phaseCostTable(res.Spans).Render())
+	}
+	if reg != nil {
+		data, merr := reg.Snapshot().JSON()
+		if merr != nil {
+			return exitErr, merr
+		}
+		if werr := fleet.WriteFileAtomic(cfg.metricsOut, data); werr != nil {
+			return exitErr, fmt.Errorf("writing -metrics artifact: %w", werr)
 		}
 	}
 
@@ -321,6 +408,28 @@ func run(cfg cliConfig) (int, error) {
 	}
 	fmt.Println(res.Table().Render())
 	return 0, nil
+}
+
+// phaseCostTable renders the per-scenario phase cost breakdown of a
+// traced run. Counts and tick totals are deterministic for a fixed
+// (campaign, seed); only the wall columns vary run to run.
+func phaseCostTable(spans []obs.Span) *metrics.Table {
+	t := metrics.NewTable("trial phase costs", "scenario", "phase", "spans", "ticks", "mean wall", "total wall")
+	for _, pc := range obs.AggregatePhases(spans) {
+		scenario := pc.Scenario
+		if scenario == "" {
+			scenario = "(campaign)"
+		}
+		mean := time.Duration(0)
+		if pc.Count > 0 {
+			mean = time.Duration(pc.WallNS / pc.Count)
+		}
+		t.AddRow(scenario, pc.Phase, pc.Count, pc.Ticks,
+			mean.Round(time.Microsecond).String(),
+			time.Duration(pc.WallNS).Round(time.Microsecond).String())
+	}
+	t.AddNote("span identity and tick totals are deterministic; wall columns are not (DESIGN.md §11)")
+	return t
 }
 
 // reportFailures narrates the trial-failure ledger on stderr — the

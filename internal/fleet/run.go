@@ -6,11 +6,13 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -79,6 +81,21 @@ type Options struct {
 	// checkpointer goroutine — keep it fast and do not call back into
 	// the run.
 	Progress func(completed int)
+	// Metrics, when non-nil, receives the run's fleet_* instrument
+	// catalogue (obs.go). Observability is strictly one-way: metrics
+	// read the run, never steer it, so the campaign's canonical JSON
+	// is byte-identical with Metrics set or nil (pinned by test and
+	// CI). A registry may be shared across runs — counters keep
+	// accumulating — or across concurrent shards and merged later.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, makes Run emit one NDJSON span per trial
+	// phase plus one per checkpoint write, flushed after the reduction
+	// in trial-index order (never completion order). Span identity and
+	// tick fields are deterministic for a fixed (campaign, seed);
+	// only the wall_ns field varies run to run. Same neutrality
+	// contract as Metrics. RunShard ignores the tracer: shard-mode
+	// spans would interleave nondeterministically across processes.
+	Tracer *obs.Tracer
 }
 
 // TrialFailure is the structured record of one panicking trial
@@ -186,6 +203,14 @@ type CampaignResult struct {
 	// final) that failed without stopping the run; the next interval
 	// retried.
 	CheckpointWriteFailures int `json:"-"`
+	// Spans is the phase trace collected when Options.Tracer was set:
+	// executed trials in trial-index order, each trial's attempts in
+	// attempt order, then checkpoint-write spans in write order.
+	// Excluded from the canonical JSON — wall_ns is nondeterministic
+	// by design, and restored trials contribute no spans, so a resumed
+	// run's trace legitimately differs from an uninterrupted one while
+	// its result bytes do not.
+	Spans []obs.Span `json:"-"`
 }
 
 // JSON renders the canonical record: indented, trailing newline,
@@ -278,6 +303,15 @@ func Run(c Campaign, opt Options) (*CampaignResult, error) {
 		res.Scenarios = append(res.Scenarios, agg)
 	}
 	res.TrialFailures = st.failures
+	if opt.Tracer != nil {
+		for _, g := range st.spans {
+			res.Spans = append(res.Spans, g...)
+		}
+		res.Spans = append(res.Spans, st.ckSpans...)
+		if terr := opt.Tracer.Write(res.Spans); terr != nil {
+			return nil, fmt.Errorf("fleet: writing trace: %w", terr)
+		}
+	}
 	return res, nil
 }
 
@@ -315,6 +349,8 @@ type runState struct {
 	hash          uint64
 	writeFailures int
 	finalCkErr    error
+	spans         [][]obs.Span // per trial index; nil unless tracing
+	ckSpans       []obs.Span   // checkpoint-write spans, write order
 }
 
 // Shard death states, owned by the checkpointer goroutine; the main
@@ -371,6 +407,15 @@ func execute(c Campaign, opt Options, sh *ShardRun) (*runState, error) {
 	if workers > targetN {
 		workers = targetN
 	}
+	// Observability handles resolve once per run, never per trial; the
+	// all-nil bundle (Metrics unset) makes every update below a
+	// nil-check no-op.
+	m := newRunMetrics(opt.Metrics)
+	tracing := opt.Tracer != nil
+	var spanGroups [][]obs.Span
+	if tracing {
+		spanGroups = make([][]obs.Span, len(trials))
+	}
 
 	// Each worker writes only its own trial's slots, so the slices
 	// need no lock; the per-trial send on done (and finally wg.Wait)
@@ -407,6 +452,7 @@ func execute(c Campaign, opt Options, sh *ShardRun) (*runState, error) {
 			}
 			base += c.Scenarios[si].Replications
 		}
+		m.trialsRestored.Add(int64(restored.Count()))
 	}
 
 	attempts := opt.MaxTrialRetries + 1
@@ -455,18 +501,40 @@ func execute(c Campaign, opt Options, sh *ShardRun) (*runState, error) {
 	}
 	writes := 0
 	writeFailures := 0
+	// Checkpoint spans live outside the per-trial groups: their Seq is
+	// the 1-based write ordinal and their scenario is empty. The WRITE
+	// COUNT is deterministic (every `every`-th completion plus the
+	// final write) even though which trials each sidecar contains is
+	// not — so the span stream stays comparable across runs. Appends
+	// happen in the checkpointer goroutine and, for the final write,
+	// in the main goroutine strictly after <-checkpointerDone.
+	var ckSpans []obs.Span
 	writeCheckpoint := func() error {
 		writes++
-		if err := inj.checkpointWriteErr(writes); err != nil {
-			writeFailures++
-			return err
+		var wallFrom time.Time
+		if tracing {
+			wallFrom = time.Now()
 		}
-		ck := buildCheckpoint(c, hash, opt.Seed, partials, completed)
-		if err := ck.Save(opt.CheckpointPath); err != nil {
+		err := func() error {
+			if err := inj.checkpointWriteErr(writes); err != nil {
+				return err
+			}
+			ck := buildCheckpoint(c, hash, opt.Seed, partials, completed)
+			return ck.Save(opt.CheckpointPath)
+		}()
+		m.ckWrites.Inc()
+		if err != nil {
 			writeFailures++
-			return err
+			m.ckWriteFailures.Inc()
 		}
-		return nil
+		if tracing {
+			ckSpans = append(ckSpans, obs.Span{
+				Phase:  obs.PhaseCheckpoint,
+				Seq:    writes,
+				WallNS: time.Since(wallFrom).Nanoseconds(),
+			})
+		}
+		return err
 	}
 	checkpointerDone := make(chan struct{})
 	dead := stateAlive
@@ -483,6 +551,7 @@ func execute(c Campaign, opt Options, sh *ShardRun) (*runState, error) {
 				continue
 			}
 			completed.Set(ti)
+			m.trialsCompleted.Inc()
 			n++
 			// A failed periodic write is tolerated — counted, retried
 			// at the next interval: losing one checkpoint must not
@@ -517,11 +586,21 @@ func execute(c Campaign, opt Options, sh *ShardRun) (*runState, error) {
 			defer wg.Done()
 			tw := newTrialWorker(comp, !opt.DisablePooling)
 			tw.faults = inj
+			tw.m = m
+			if tracing {
+				tw.rec = &obs.Recorder{}
+			}
 			for ti := range work {
 				inj.delayWorker(worker)
 				inj.delayShardTrial()
 				ref := trials[ti]
 				partials[ti], failures[ti], errs[ti] = tw.runTrialIsolated(ref.scenario, ref.rep, attempts)
+				if tracing {
+					// Like partials: each worker writes only its own
+					// trial's slot, so the groups need no lock and the
+					// flush can order them by trial index.
+					spanGroups[ti] = tw.rec.Take()
+				}
 				if errs[ti] == nil {
 					done <- ti
 				}
@@ -561,7 +640,7 @@ dispatch:
 	close(done)
 	<-checkpointerDone
 
-	st := &runState{partials: partials, completed: completed, hash: hash, writeFailures: writeFailures}
+	st := &runState{partials: partials, completed: completed, hash: hash, writeFailures: writeFailures, spans: spanGroups}
 	for ti := range trials {
 		st.failures = append(st.failures, failures[ti]...)
 	}
@@ -588,6 +667,7 @@ dispatch:
 	if opt.CheckpointPath != "" {
 		st.finalCkErr = writeCheckpoint()
 	}
+	st.ckSpans = ckSpans
 
 	for ti, err := range errs {
 		if err != nil {
@@ -716,6 +796,8 @@ type trialWorker struct {
 	attackRNG metrics.RNG    // the adversary's stream, separate from the mix's
 	faults    *faultInjector // nil = no chaos
 	attempt   int            // current attempt number; keys chaos panic points
+	m         runMetrics     // all-nil bundle when Options.Metrics is unset
+	rec       *obs.Recorder  // phase span recorder; nil unless tracing
 }
 
 // scenarioSlot is the per-(worker, scenario) reuse state.
@@ -757,9 +839,14 @@ func (w *trialWorker) runTrialIsolated(scenario, rep, attempts int) (*ScenarioRe
 		if failure == nil {
 			return res, fails, nil
 		}
+		w.m.trialPanics.Inc()
+		if attempt < attempts {
+			w.m.trialRetries.Inc()
+		}
 		fails = append(fails, *failure)
 	}
 	fails[len(fails)-1].Terminal = true
+	w.m.trialsDegraded.Inc()
 	return w.failedTrialResult(scenario), fails, nil
 }
 
@@ -769,8 +856,10 @@ func (w *trialWorker) runTrialAttempt(scenario, rep, attempt int) (res *Scenario
 		if r := recover(); r != nil {
 			// Quarantine the whole slot: nothing a panicked trial may
 			// have touched — cluster, credential cache, build scratch
-			// — is reusable.
+			// — is reusable. The half-open phase span is dropped too:
+			// a panicked phase has no deterministic end tick.
 			delete(w.slots, scenario)
+			w.rec.Abandon()
 			res, err = nil, nil
 			failure = &TrialFailure{
 				Scenario:    w.comp[scenario].spec.Name,
@@ -782,6 +871,7 @@ func (w *trialWorker) runTrialAttempt(scenario, rep, attempt int) (res *Scenario
 		}
 	}()
 	w.attempt = attempt
+	w.rec.StartAttempt(w.comp[scenario].spec.Name, rep, attempt)
 	res, err = w.runTrial(scenario, rep)
 	return res, nil, err
 }
@@ -808,6 +898,10 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 	cs := &w.comp[scenario]
 	s := cs.spec
 	w.faults.hitPoint(s.Name, rep, w.attempt, PointBegin)
+	// Phase spans bracket the trial's stages at simulation-clock
+	// boundaries; reset and mix run before any tick elapses, so their
+	// tick bounds are [0,0] by construction.
+	w.rec.Begin(0)
 	slot := w.slots[scenario]
 	if slot == nil {
 		slot = &scenarioSlot{}
@@ -818,6 +912,7 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 		if err := c.Reset(); err != nil {
 			return nil, err
 		}
+		w.m.poolHits.Inc()
 	} else {
 		var err error
 		if c, err = core.New(cs.cfg, cs.topo); err != nil {
@@ -826,10 +921,13 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 		if w.pooling {
 			slot.cluster = c
 		}
+		w.m.poolBuilds.Inc()
 	}
+	w.rec.End(obs.PhaseReset, 0)
 
 	// The trial stream depends only on (master, scenario name, rep):
 	// never on the worker, the pool state, or the completion order.
+	w.rec.Begin(0)
 	w.rng.Reseed(metrics.StreamSeed(cs.stream, uint64(rep)))
 	creds := slot.users[:0]
 	for _, name := range cs.userNames {
@@ -850,6 +948,7 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 		}
 	}
 	w.faults.hitPoint(s.Name, rep, w.attempt, PointSubmit)
+	w.rec.End(obs.PhaseMix, c.Now())
 	// The adversary campaign (if any) runs against the live cluster
 	// right after submission — concurrent with the mix, which keeps
 	// draining through the campaign's pacing gaps and waits. Its RNG
@@ -857,23 +956,35 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 	// hop), so mix draws and attack draws never perturb each other.
 	var att *attack.Outcome
 	if cs.attack != nil {
+		w.rec.Begin(c.Now())
 		w.attackRNG.Reseed(metrics.StreamSeed(metrics.StreamSeed(cs.stream, uint64(rep)), attack.StreamIndex))
 		var aerr error
 		att, _, aerr = cs.attack.Execute(c, &w.attackRNG, s.Horizon)
 		if aerr != nil {
 			return nil, aerr
 		}
+		w.rec.End(obs.PhaseAttack, c.Now())
+		w.m.attackSteps.Add(int64(att.Steps))
 	}
 	// Drain whatever horizon the campaign left. Plain scenarios reach
 	// here with the clock still at 0, so this is the pre-attack
 	// RunAll(Horizon) byte for byte; attacked trials count the
 	// campaign's ticks toward the same horizon and makespan.
+	w.rec.Begin(c.Now())
 	if remaining := s.Horizon - int(c.Now()); remaining > 0 {
 		c.RunAll(remaining)
 	}
+	w.rec.End(obs.PhaseDrain, c.Now())
 	ticks := int(c.Now())
 	crashes, cofail := c.Sched.Crashes()
+	// Sched.Stats is per trial: Reset (pooled) and fresh builds both
+	// start the tallies at zero, so this reads exactly this trial's
+	// real vs fast-forwarded ticks, attack-phase ticks included.
+	steps, ff := c.Sched.Stats()
+	w.m.schedSteps.Add(steps)
+	w.m.schedFastForwarded.Add(ff)
 
+	w.rec.Begin(c.Now())
 	tr := &trialResult{}
 	tr.hist = histogramFor(s, tr.counts[:])
 	tr.res = ScenarioResult{
@@ -892,5 +1003,7 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 		agg.AddOutcome(att)
 		tr.res.Attack = agg
 	}
+	w.m.trialTicks.Observe(float64(ticks))
+	w.rec.End(obs.PhaseAggregate, c.Now())
 	return &tr.res, nil
 }

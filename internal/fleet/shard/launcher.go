@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 // AttemptSpec is everything a launcher needs to run one shard
@@ -45,6 +46,12 @@ type AttemptSpec struct {
 	// FailuresPath, when non-empty, is where an exec worker leaves its
 	// structured TrialFailure artifact for the supervisor to collect.
 	FailuresPath string
+
+	// Metrics, when non-nil, receives the attempt's fleet_* trial
+	// counters. Only the in-process launcher can honor it — a registry
+	// cannot cross the exec boundary, so exec attempts report only the
+	// supervisor-side shard_* counters.
+	Metrics *obs.Registry
 }
 
 // Attempt is one running shard attempt under supervision. Err and
@@ -112,6 +119,7 @@ func (InProc) Launch(spec AttemptSpec) (Attempt, error) {
 			Interrupt:       a.stop,
 			Faults:          spec.Faults,
 			Progress:        a.beat,
+			Metrics:         spec.Metrics,
 		}, fleet.ShardRun{
 			Index:   spec.Shard.Shard,
 			Count:   spec.Shards,

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 // Service defaults.
@@ -51,7 +53,11 @@ type ServiceConfig struct {
 	// RetryAfter is the hint sent with 429 responses; <= 0 means
 	// DefaultRetryAfter.
 	RetryAfter time.Duration
-	Logf       func(format string, args ...any)
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Opt-in:
+	// profiles expose internals, so a production fleetd keeps them off
+	// unless explicitly asked (fleetd -pprof).
+	EnablePprof bool
+	Logf        func(format string, args ...any)
 }
 
 // Submission is the POST /campaigns request envelope. Campaign is the
@@ -81,6 +87,8 @@ type job struct {
 	scenarios []scenarioEvent
 	result    []byte // canonical campaign JSON once done
 	errMsg    string
+	started   time.Time     // when the job left the queue; zero while queued
+	finished  time.Time     // when the job reached a terminal state
 	notify    chan struct{} // closed and replaced on every update (broadcast)
 }
 
@@ -105,6 +113,8 @@ func (j *job) update(f func()) {
 // launcher under the race detector.
 type Service struct {
 	cfg ServiceConfig
+	reg *obs.Registry
+	sm  serviceMetrics
 
 	mu          sync.Mutex
 	jobs        map[string]*job
@@ -142,8 +152,11 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		}
 		cfg.Dir = dir
 	}
+	reg := obs.NewRegistry()
 	s := &Service{
 		cfg:    cfg,
+		reg:    reg,
+		sm:     newServiceMetrics(reg),
 		jobs:   make(map[string]*job),
 		queue:  make(chan *job, cfg.QueueDepth),
 		drainC: make(chan struct{}),
@@ -162,6 +175,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for jb := range s.queue {
+		s.sm.queueDepth.Add(-1)
 		s.mu.Lock()
 		draining := s.draining
 		if draining {
@@ -169,7 +183,8 @@ func (s *Service) worker() {
 		}
 		s.mu.Unlock()
 		if draining {
-			jb.update(func() { jb.state = "drained" })
+			s.sm.drained.Inc()
+			jb.update(func() { jb.state, jb.finished = "drained", time.Now() })
 			continue
 		}
 		s.runJob(jb)
@@ -177,9 +192,12 @@ func (s *Service) worker() {
 }
 
 func (s *Service) runJob(jb *job) {
-	jb.update(func() { jb.state = "running" })
+	s.sm.running.Add(1)
+	defer s.sm.running.Add(-1)
+	jb.update(func() { jb.state, jb.started = "running", time.Now() })
 	if err := os.MkdirAll(jb.dir, 0o755); err != nil {
-		jb.update(func() { jb.state, jb.errMsg = "failed", err.Error() })
+		s.sm.failed.Inc()
+		jb.update(func() { jb.state, jb.errMsg, jb.finished = "failed", err.Error(), time.Now() })
 		return
 	}
 	res, err := Supervise(jb.c, Options{
@@ -197,6 +215,7 @@ func (s *Service) runJob(jb *job) {
 		BackoffMax:       s.cfg.BackoffMax,
 		Drain:            s.drainC,
 		Status:           jb.status,
+		Metrics:          s.reg,
 		Logf: func(format string, args ...any) {
 			s.cfg.Logf("campaign %s: "+format, append([]any{jb.id}, args...)...)
 		},
@@ -212,20 +231,24 @@ func (s *Service) runJob(jb *job) {
 	case err == nil:
 		data, jerr := res.JSON()
 		if jerr != nil {
-			jb.update(func() { jb.state, jb.errMsg = "failed", jerr.Error() })
+			s.sm.failed.Inc()
+			jb.update(func() { jb.state, jb.errMsg, jb.finished = "failed", jerr.Error(), time.Now() })
 			return
 		}
-		jb.update(func() { jb.state, jb.result = "done", data })
+		s.sm.done.Inc()
+		jb.update(func() { jb.state, jb.result, jb.finished = "done", data, time.Now() })
 	default:
 		var de *DrainedError
 		if errors.As(err, &de) {
 			s.mu.Lock()
 			s.interrupted = true
 			s.mu.Unlock()
-			jb.update(func() { jb.state = "drained" })
+			s.sm.drained.Inc()
+			jb.update(func() { jb.state, jb.finished = "drained", time.Now() })
 			return
 		}
-		jb.update(func() { jb.state, jb.errMsg = "failed", err.Error() })
+		s.sm.failed.Inc()
+		jb.update(func() { jb.state, jb.errMsg, jb.finished = "failed", err.Error(), time.Now() })
 	}
 }
 
@@ -267,6 +290,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /campaigns/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -338,6 +369,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	jb.dir = filepath.Join(s.cfg.Dir, jb.id)
 	select {
 	case s.queue <- jb:
+		s.sm.submitted.Inc()
+		s.sm.queueDepth.Add(1)
 	default:
 		// Queue full: backpressure, with a hint. The id was burned;
 		// ids are cheap.
@@ -368,7 +401,10 @@ func (s *Service) lookup(id string) *job {
 	return s.jobs[id]
 }
 
-// jobStatus is the GET /campaigns/{id} body.
+// jobStatus is the GET /campaigns/{id} body. The progress block —
+// trials done/total, retry count, completion rate and ETA — is derived
+// from the supervisor's live per-shard status, so a watcher needs no
+// other endpoint to see how far along a campaign is.
 type jobStatus struct {
 	ID            string        `json:"id"`
 	State         string        `json:"state"`
@@ -377,14 +413,25 @@ type jobStatus struct {
 	Shards        int           `json:"shards"`
 	ScenariosDone int           `json:"scenarios_done"`
 	ScenarioCount int           `json:"scenario_count"`
-	ShardStatus   []ShardStatus `json:"shard_status,omitempty"`
-	Error         string        `json:"error,omitempty"`
+	TrialsDone    int           `json:"trials_done"`
+	TrialsTotal   int           `json:"trials_total"`
+	// Retries counts shard attempts past each shard's first (restored
+	// trials are never recomputed, so retries cost backoff + the lost
+	// tail, not full recomputation).
+	Retries int `json:"retries"`
+	// RatePerSec is completed trials per second of run time; 0 until
+	// the first trial lands. ETASeconds extrapolates the remainder at
+	// that rate and is present only while running.
+	RatePerSec  float64       `json:"rate_per_sec,omitempty"`
+	ETASeconds  float64       `json:"eta_seconds,omitempty"`
+	ShardStatus []ShardStatus `json:"shard_status,omitempty"`
+	Error       string        `json:"error,omitempty"`
 }
 
 func (jb *job) snapshot() jobStatus {
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
-	return jobStatus{
+	st := jobStatus{
 		ID:            jb.id,
 		State:         jb.state,
 		Campaign:      jb.c.Name,
@@ -392,9 +439,29 @@ func (jb *job) snapshot() jobStatus {
 		Shards:        jb.shards,
 		ScenariosDone: len(jb.scenarios),
 		ScenarioCount: len(jb.c.Scenarios),
+		TrialsTotal:   jb.c.Trials(),
 		ShardStatus:   jb.status.Snapshot(),
 		Error:         jb.errMsg,
 	}
+	for _, sh := range st.ShardStatus {
+		st.TrialsDone += sh.Completed
+		if sh.Attempt > 1 {
+			st.Retries += sh.Attempt - 1
+		}
+	}
+	if !jb.started.IsZero() {
+		elapsed := time.Since(jb.started)
+		if !jb.finished.IsZero() {
+			elapsed = jb.finished.Sub(jb.started)
+		}
+		if secs := elapsed.Seconds(); secs > 0 && st.TrialsDone > 0 {
+			st.RatePerSec = float64(st.TrialsDone) / secs
+			if jb.state == "running" {
+				st.ETASeconds = float64(st.TrialsTotal-st.TrialsDone) / st.RatePerSec
+			}
+		}
+	}
+	return st
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
@@ -489,13 +556,56 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// health is the GET /healthz body: structured operational state, not
+// just liveness. state is "accepting" (the POST path admits work) or
+// "draining" (503 on submit, in-flight campaigns checkpointing); the
+// counts say what the process is actually doing right now.
+type health struct {
+	State         string `json:"state"` // accepting | draining
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Running       int    `json:"running"`
+	ActiveShards  int    `json:"active_shards"`
+}
+
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	state := "ok"
-	if draining {
-		state = "draining"
+	h := health{
+		State:         "accepting",
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"state": state})
+	if s.draining {
+		h.State = "draining"
+	}
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, jb := range jobs {
+		jb.mu.Lock()
+		running := jb.state == "running"
+		status := jb.status
+		jb.mu.Unlock()
+		if !running {
+			continue
+		}
+		h.Running++
+		for _, sh := range status.Snapshot() {
+			if sh.State == "running" {
+				h.ActiveShards++
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics serves the registry in Prometheus text format: the
+// fleetd_* service counters, the shard_* supervision counters, and —
+// for in-process launchers — the fleet_* trial counters, accumulated
+// across every campaign this process has run.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = s.reg.WritePrometheus(w)
 }

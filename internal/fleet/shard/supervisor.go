@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 // Supervision defaults. The heartbeat timeout is deliberately lax:
@@ -75,6 +76,10 @@ type Options struct {
 	// Status, when non-nil, is kept current with per-shard progress
 	// for external observers (the fleetd status endpoint).
 	Status *Status
+	// Metrics, when non-nil, receives the shard_* supervision counters
+	// and — for in-process launchers — each attempt's fleet_* trial
+	// counters. Observability only; results never depend on it.
+	Metrics *obs.Registry
 	// Logf receives supervision events (launches, kills, retries);
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -150,6 +155,7 @@ type supervisor struct {
 	opt   Options
 	plan  []Assignment
 	drain <-chan struct{}
+	m     shardMetrics
 
 	campPath   string
 	faultsPath string
@@ -210,7 +216,7 @@ func Supervise(c fleet.Campaign, opt Options) (*fleet.CampaignResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &supervisor{c: c, opt: opt, plan: plan, drain: opt.Drain}
+	s := &supervisor{c: c, opt: opt, plan: plan, drain: opt.Drain, m: newShardMetrics(opt.Metrics)}
 	if s.drain == nil {
 		s.drain = make(chan struct{}) // never closes
 	}
@@ -363,6 +369,7 @@ func (s *supervisor) superviseShard(i int) shardOutcome {
 		if resume != nil {
 			s.opt.Logf("shard %d attempt %d: resuming from sidecar (%d trials done)", i, attempt, resume.Completed)
 		}
+		s.m.attempts.Inc()
 		att, err := s.opt.Launcher.Launch(AttemptSpec{
 			Campaign:        s.c,
 			CampaignPath:    s.campPath,
@@ -378,6 +385,7 @@ func (s *supervisor) superviseShard(i int) shardOutcome {
 			Faults:          s.opt.Faults,
 			FaultsPath:      s.faultsPath,
 			FailuresPath:    filepath.Join(s.opt.Dir, fmt.Sprintf("shard-%d.failures.json", i)),
+			Metrics:         s.opt.Metrics,
 		})
 		var attErr error
 		if err != nil {
@@ -403,6 +411,7 @@ func (s *supervisor) superviseShard(i int) shardOutcome {
 		s.opt.Logf("shard %d attempt %d failed: %v", i, attempt, attErr)
 		if attempt < maxAttempts {
 			s.opt.Status.set(i, func(st *ShardStatus) { st.State = "backoff" })
+			s.m.backoffs.Inc()
 			if !s.backoff(attempt) {
 				s.opt.Status.set(i, func(st *ShardStatus) { st.State = "drained" })
 				return shardOutcome{ck: s.loadSidecar(i), drained: true, fails: fails}
@@ -413,6 +422,7 @@ func (s *supervisor) superviseShard(i int) shardOutcome {
 	// scenarios and every trial this shard DID checkpoint are kept —
 	// only the still-missing trials become failures.
 	s.opt.Logf("shard %d: retry budget exhausted; degrading missing trials to counted failures", i)
+	s.m.degraded.Inc()
 	s.opt.Status.set(i, func(st *ShardStatus) { st.State = "degraded" })
 	return shardOutcome{ck: s.loadSidecar(i), degraded: true, fails: fails}
 }
@@ -438,12 +448,14 @@ func (s *supervisor) monitor(i int, att Attempt) error {
 			s.opt.Status.set(i, func(st *ShardStatus) { st.Completed = completed })
 			if stale := time.Since(last); stale > s.opt.HeartbeatTimeout {
 				s.opt.Logf("shard %d: no heartbeat for %v; killing", i, stale.Round(time.Millisecond))
+				s.m.heartbeatStalls.Inc()
 				att.Kill()
 				<-att.Done()
 				return fmt.Errorf("heartbeat stalled for %v (wedged)", stale.Round(time.Millisecond))
 			}
 			if s.opt.AttemptDeadline > 0 && time.Since(start) > s.opt.AttemptDeadline {
 				s.opt.Logf("shard %d: attempt deadline %v exceeded; killing", i, s.opt.AttemptDeadline)
+				s.m.deadlineKills.Inc()
 				att.Kill()
 				<-att.Done()
 				return fmt.Errorf("attempt deadline %v exceeded", s.opt.AttemptDeadline)

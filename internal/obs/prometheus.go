@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format rendering (version 0.0.4), hand-rolled: the
+// container bakes no client library, and the subset the registry
+// needs — HELP/TYPE headers, escaped help and label values,
+// cumulative histogram buckets with the synthetic le label — is small
+// and fully testable (prometheus_test.go pins escaping and bucket
+// cumulativity).
+
+// PrometheusContentType is the Content-Type a /metrics response
+// should carry for this rendering.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry's current state; see
+// Snapshot.WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text format.
+// Families are sorted by name (the snapshot is already sorted), each
+// family gets one HELP/TYPE header, and histogram buckets are emitted
+// cumulatively with le labels plus the _sum and _count series.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	b := &strings.Builder{}
+	lastFamily := ""
+	writeHeader := func(name, help string, kind metricKind) {
+		if name == lastFamily {
+			return
+		}
+		lastFamily = name
+		if help != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+	}
+	for _, c := range s.Counters {
+		writeHeader(c.Name, c.Help, kindCounter)
+		fmt.Fprintf(b, "%s%s %d\n", c.Name, renderLabels(c.Labels, "", ""), c.Value)
+	}
+	for _, g := range s.Gauges {
+		writeHeader(g.Name, g.Help, kindGauge)
+		fmt.Fprintf(b, "%s%s %d\n", g.Name, renderLabels(g.Labels, "", ""), g.Value)
+	}
+	for _, h := range s.Histograms {
+		writeHeader(h.Name, h.Help, kindHistogram)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(b, "%s_bucket%s %d\n", h.Name, renderLabels(h.Labels, "le", formatFloat(bound)), cum)
+		}
+		// The +Inf bucket equals _count by construction; rendering it
+		// from the same cumulative walk keeps that invariant visible.
+		cum += h.Counts[len(h.Counts)-1]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", h.Name, renderLabels(h.Labels, "le", "+Inf"), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", h.Name, renderLabels(h.Labels, "", ""), formatFloat(h.Sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", h.Name, renderLabels(h.Labels, "", ""), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderLabels renders {k="v",…}, appending the extra pair (the
+// histogram le) when set. Empty label sets render as nothing.
+func renderLabels(labels []Label, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline — the two characters the
+// text format's HELP line cannot carry raw.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote and newline per
+// the label-value rules.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the shortest way that round-trips,
+// matching the expositions Prometheus itself emits.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

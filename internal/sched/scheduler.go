@@ -133,6 +133,13 @@ type Scheduler struct {
 	// *other* users killed by someone else's OOM (blast radius).
 	crashes    int
 	cofailures int
+	// stepCount/ffTicks feed the observability layer: real ticks
+	// executed vs event-free ticks the analytic fast-forward skipped
+	// (stepCount + ffTicks = total logical ticks advanced). Plain
+	// int64s under s.mu — the per-tick cost is one increment — and
+	// cleared by Reset like every other trial-scoped tally.
+	stepCount int64
+	ffTicks   int64
 }
 
 // Scheduler errors.
@@ -217,6 +224,7 @@ func (s *Scheduler) Reset() {
 	}
 	s.busyCores, s.busyCoreTicks, s.totalCoreTicks = 0, 0, 0
 	s.crashes, s.cofailures = 0, 0
+	s.stepCount, s.ffTicks = 0, 0
 	for _, ns := range s.nodes {
 		ns.usedCores, ns.usedMem, ns.usedGPUs = 0, 0, 0
 		clear(ns.jobs)
@@ -384,6 +392,7 @@ func (s *Scheduler) Step() int {
 // loop never re-locks to inspect state between ticks.
 func (s *Scheduler) stepLocked() int {
 	s.now++
+	s.stepCount++
 	// Account utilization before finishing, i.e. usage during this
 	// tick. Busy counts the cores jobs *requested*, not the cores a
 	// placement occupies — exclusive allocations waste the node
@@ -657,7 +666,20 @@ func (s *Scheduler) fastForwardLocked(budget int64) int64 {
 		return 0
 	}
 	s.now += skip
+	s.ffTicks += skip
 	s.totalCoreTicks += s.computeCores * skip
 	s.busyCoreTicks += s.busyCores * skip
 	return skip
+}
+
+// Stats reports how many real ticks the scheduler has executed
+// (stepLocked runs) and how many event-free ticks the analytic
+// fast-forward skipped, since construction or the last Reset. Their
+// sum is the total logical time advanced; the ratio is the
+// event-driven engine's payoff, which is why the observability layer
+// exports both.
+func (s *Scheduler) Stats() (steps, fastForwarded int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stepCount, s.ffTicks
 }

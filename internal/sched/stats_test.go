@@ -1,0 +1,44 @@
+package sched
+
+import (
+	"testing"
+)
+
+// TestStatsAccounting: steps + fastForwarded must equal the total
+// logical ticks RunAll advanced, fast-forward must actually fire on
+// an event-free gap, and Reset must clear both tallies — the
+// invariants the observability layer's sched_* counters rely on.
+func TestStatsAccounting(t *testing.T) {
+	s := New(Config{Policy: PolicyShared}, computeNodes(2, 8, 1<<20), 0)
+	if _, err := s.Submit(cred(1000), spec(2, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(cred(1001), spec(2, 123)); err != nil {
+		t.Fatal(err)
+	}
+	ticks := s.RunAll(100000)
+	steps, ff := s.Stats()
+	if steps+ff != int64(ticks) {
+		t.Fatalf("steps %d + fastForwarded %d != RunAll ticks %d", steps, ff, ticks)
+	}
+	if steps == 0 {
+		t.Fatal("no real steps counted")
+	}
+	if ff == 0 {
+		t.Fatal("long-duration jobs with an empty queue must fast-forward, but no ticks were skipped")
+	}
+	s.Reset()
+	if steps, ff := s.Stats(); steps != 0 || ff != 0 {
+		t.Fatalf("Reset must clear stats, got steps %d ff %d", steps, ff)
+	}
+	// A Step loop counts every tick as a real step.
+	if _, err := s.Submit(cred(1000), spec(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		s.Step()
+	}
+	if steps, ff := s.Stats(); steps != 7 || ff != 0 {
+		t.Fatalf("Step loop stats = (%d, %d), want (7, 0)", steps, ff)
+	}
+}

@@ -53,15 +53,22 @@ type Bench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// HeapBytes is the benchmark's self-reported post-run live heap
+	// (b.ReportMetric(..., "heap-bytes") after runtime.GC()), the
+	// XXL memory-ceiling observable. Zero when the benchmark does not
+	// report it — old records decode compatibly.
+	HeapBytes float64 `json:"heap_bytes,omitempty"`
 
 	// Previous-record numbers and deltas, present when a prior
 	// BENCH_*.json was diffed in.
 	PrevNsPerOp     *float64 `json:"prev_ns_per_op,omitempty"`
 	PrevBytesPerOp  *int64   `json:"prev_bytes_per_op,omitempty"`
 	PrevAllocsPerOp *int64   `json:"prev_allocs_per_op,omitempty"`
+	PrevHeapBytes   *float64 `json:"prev_heap_bytes,omitempty"`
 	NsDeltaPct      *float64 `json:"ns_delta_pct,omitempty"`
 	BytesDeltaPct   *float64 `json:"bytes_delta_pct,omitempty"`
 	AllocsDeltaPct  *float64 `json:"allocs_delta_pct,omitempty"`
+	HeapDeltaPct    *float64 `json:"heap_delta_pct,omitempty"`
 }
 
 // Record is the on-disk BENCH_*.json shape.
@@ -82,15 +89,16 @@ func main() {
 	out := flag.String("out", "", "bench mode: output JSON path (e.g. BENCH_PR1.json)")
 	prev := flag.String("prev", "", "bench mode: previous BENCH_*.json to diff against; relative paths anchor to the module root (default: newest-mtime other BENCH_*.json there — unreliable in fresh clones, pin explicitly when several exist)")
 	label := flag.String("label", "", "bench mode: record label (default: output filename stem)")
-	pattern := flag.String("pattern", "^Benchmark(E[0-9]+|Fleet|Trial)", "bench mode: -bench regex passed to go test")
+	pattern := flag.String("pattern", "^Benchmark(E[0-9]+|Fleet|Trial|XXL)", "bench mode: -bench regex passed to go test")
 	benchtime := flag.String("benchtime", "200ms", "bench mode: -benchtime passed to go test")
 	count := flag.Int("count", 1, "bench mode: run the whole benchmark suite N times and keep each benchmark's best (lowest ns/op) run — tames oscillating-container noise when recording a trajectory point (see EXPERIMENTS.md)")
 	gate := flag.Float64("gate", 0, "bench mode: fail if any ns/op regresses more than this percent vs previous (0 = report only)")
 	allocgate := flag.Float64("allocgate", 0, "bench mode: fail if any allocs/op regresses more than this percent vs previous, or a zero-alloc row becomes nonzero (0 = report only); allocs are deterministic, so tight gates are safe")
+	heapgate := flag.Float64("heapgate", 0, "bench mode: fail if any heap-bytes-reporting benchmark regresses more than this percent vs previous (0 = report only)")
 	flag.Parse()
 
 	if *bench {
-		if err := runBench(*out, *prev, *label, *pattern, *benchtime, *count, *gate, *allocgate); err != nil {
+		if err := runBench(*out, *prev, *label, *pattern, *benchtime, *count, *gate, *allocgate, *heapgate); err != nil {
 			fmt.Fprintf(os.Stderr, "benchharness: %v\n", err)
 			os.Exit(1)
 		}
@@ -152,7 +160,7 @@ func moduleRoot() (string, error) {
 	}
 }
 
-func runBench(out, prev, label, pattern, benchtime string, count int, gate, allocgate float64) error {
+func runBench(out, prev, label, pattern, benchtime string, count int, gate, allocgate, heapgate float64) error {
 	if out == "" {
 		return fmt.Errorf("-bench requires -out <BENCH_*.json>")
 	}
@@ -207,7 +215,7 @@ func runBench(out, prev, label, pattern, benchtime string, count int, gate, allo
 	var regressions []string
 	if prevRec != nil {
 		rec.Previous = prevRec.Label
-		regressions = diff(rec, prevRec, gate, allocgate)
+		regressions = diff(rec, prevRec, gate, allocgate, heapgate)
 	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -250,7 +258,10 @@ func keepBest(acc, fresh []Bench) []Bench {
 }
 
 var (
-	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ \S+/s)?\s+(\d+) B/op\s+(\d+) allocs/op`)
+	// Extra b.ReportMetric units print between ns/op (and any MB/s)
+	// and the -benchmem pair, sorted by unit name — "heap-bytes" is the
+	// only extra the suite emits (BenchmarkXXLTrial).
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ \S+/s)?(?:\s+([\d.e+]+) heap-bytes)?\s+(\d+) B/op\s+(\d+) allocs/op`)
 	cpuLine   = regexp.MustCompile(`^cpu: (.+)$`)
 	expPrefix = regexp.MustCompile(`^E\d+`)
 	cpuSuffix = regexp.MustCompile(`-\d+$`)
@@ -272,11 +283,16 @@ func parseBenchOutput(s string) (cpu string, benches []Bench) {
 		name := cpuSuffix.ReplaceAllString(strings.TrimPrefix(m[1], "Benchmark"), "")
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		bytesOp, _ := strconv.ParseInt(m[4], 10, 64)
-		allocs, _ := strconv.ParseInt(m[5], 10, 64)
+		var heap float64
+		if m[4] != "" {
+			heap, _ = strconv.ParseFloat(m[4], 64)
+		}
+		bytesOp, _ := strconv.ParseInt(m[5], 10, 64)
+		allocs, _ := strconv.ParseInt(m[6], 10, 64)
 		b := Bench{
 			Name: name, Experiment: expPrefix.FindString(name),
 			Iterations: iters, NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocs,
+			HeapBytes: heap,
 		}
 		if i := strings.IndexByte(name, '/'); i >= 0 {
 			b.Config = name[i+1:]
@@ -344,7 +360,7 @@ func loadPrevious(root, prev, out string) (*Record, error) {
 // names whose ns/op regressed beyond the gate percentage or whose
 // allocs/op regressed beyond the allocgate percentage (including a
 // zero-alloc row growing allocations, which has no finite percent).
-func diff(rec, prevRec *Record, gate, allocgate float64) []string {
+func diff(rec, prevRec *Record, gate, allocgate, heapgate float64) []string {
 	byName := make(map[string]*Bench, len(prevRec.Benches))
 	for i := range prevRec.Benches {
 		byName[prevRec.Benches[i].Name] = &prevRec.Benches[i]
@@ -391,6 +407,15 @@ func diff(rec, prevRec *Record, gate, allocgate float64) []string {
 			zero := 0.0
 			b.BytesDeltaPct = &zero
 		}
+		// Heap diffs only apply where both sides reported the metric.
+		if ph := p.HeapBytes; ph > 0 && b.HeapBytes > 0 {
+			b.PrevHeapBytes = &ph
+			d := (b.HeapBytes - ph) / ph * 100
+			b.HeapDeltaPct = &d
+			if heapgate > 0 && d > heapgate {
+				regressions = append(regressions, fmt.Sprintf("%s heap +%.0f%%", b.Name, d))
+			}
+		}
 		// For 0→N, AllocsDeltaPct stays nil and printSummary flags the
 		// row as a 0→N regression, so losing a zero-alloc path is never
 		// silent even without -allocgate.
@@ -409,6 +434,12 @@ func printSummary(rec *Record) {
 	}
 	for _, b := range sorted {
 		line := fmt.Sprintf("  %-40s %12.0f ns/op %10d B/op %8d allocs/op", b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+		if b.HeapBytes > 0 {
+			line += fmt.Sprintf(" %11.0f heap-bytes", b.HeapBytes)
+			if b.HeapDeltaPct != nil {
+				line += fmt.Sprintf(" (%+.1f%%)", *b.HeapDeltaPct)
+			}
+		}
 		if b.NsDeltaPct != nil {
 			line += fmt.Sprintf("   ns %+.1f%%", *b.NsDeltaPct)
 		}

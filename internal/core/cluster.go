@@ -52,6 +52,12 @@ type Cluster struct {
 	ExemptGID  ids.GID // /proc gid= exemption; joined only via seepid
 	CoordGID   ids.GID
 
+	// nodesByName indexes Compute+Logins for O(1) Node lookup.
+	nodesByName map[string]*simos.Node
+	// staffDirty records that AddSupportStaff replaced the escalation
+	// tools, so Reset can skip rebuilding them on untouched clusters.
+	staffDirty bool
+
 	clock atomic.Int64
 }
 
@@ -75,13 +81,14 @@ func New(cfg Config, topo Topology) (*Cluster, error) {
 		return nil, fmt.Errorf("core: config %q: %w", cfg.Name, err)
 	}
 	c := &Cluster{
-		Cfg:      cfg,
-		Topo:     topo,
-		Registry: ids.NewRegistry(),
-		Net:      netsim.NewNetwork(),
-		LocalFS:  make(map[string]*vfs.FS),
-		NS:       make(map[string]*vfs.Namespace),
-		Proc:     make(map[string]*procfs.Mount),
+		Cfg:         cfg,
+		Topo:        topo,
+		Registry:    ids.NewRegistry(),
+		Net:         netsim.NewNetwork(),
+		LocalFS:     make(map[string]*vfs.FS),
+		NS:          make(map[string]*vfs.Namespace),
+		Proc:        make(map[string]*procfs.Mount),
+		nodesByName: make(map[string]*simos.Node),
 	}
 	clock := func() int64 { return c.clock.Load() }
 
@@ -121,16 +128,23 @@ func New(cfg Config, topo Topology) (*Cluster, error) {
 		return nil, err
 	}
 
+	// Every node's local filesystem starts from the same pristine tree
+	// (/tmp + /dev/shm), so build it once and stamp out template-backed
+	// mounts: a node whose local FS is never written shares the
+	// template's inodes and costs O(1) to build and to Reset.
+	localProto := vfs.New("local-proto", fsPolicy, c.Registry)
+	if err := localProto.CreateTmp("/tmp"); err != nil {
+		return nil, err
+	}
+	if err := localProto.CreateTmp("/dev/shm"); err != nil {
+		return nil, err
+	}
+	localTmpl := localProto.AsTemplate()
+
 	// Nodes + per-node namespaces, /proc mounts and network hosts.
 	addNode := func(name string, kind simos.NodeKind) (*simos.Node, error) {
 		n := simos.NewNode(name, kind, topo.CoresPerNode, topo.MemPerNode, clock)
-		local := vfs.New("local:"+name, fsPolicy, c.Registry)
-		if err := local.CreateTmp("/tmp"); err != nil {
-			return nil, err
-		}
-		if err := local.CreateTmp("/dev/shm"); err != nil {
-			return nil, err
-		}
+		local := vfs.NewFromTemplate("local:"+name, fsPolicy, c.Registry, localTmpl)
 		ns := vfs.NewNamespace()
 		if err := ns.Mount("/", c.SharedFS); err != nil {
 			return nil, err
@@ -149,6 +163,7 @@ func New(cfg Config, topo Topology) (*Cluster, error) {
 		}
 		c.Proc[name] = procfs.NewMount(n.Procs, cfg.HidePID, exemptGID)
 		c.Net.AddHost(name)
+		c.nodesByName[name] = n
 		return n, nil
 	}
 	for i := 0; i < topo.ComputeNodes; i++ {
@@ -264,8 +279,13 @@ func (c *Cluster) Reset() error {
 	c.UBF.Reset()
 	c.Portal.Reset()
 	c.Containers.Reset()
-	c.Seepid = procfs.NewSeepid(c.ExemptGID)
-	c.SmaskRelax = vfs.NewSmaskRelax(0o002)
+	// Seepid/SmaskRelax are stateless after construction; only
+	// AddSupportStaff ever swaps them for staffed variants.
+	if c.staffDirty {
+		c.Seepid = procfs.NewSeepid(c.ExemptGID)
+		c.SmaskRelax = vfs.NewSmaskRelax(0o002)
+		c.staffDirty = false
+	}
 	return nil
 }
 
@@ -342,6 +362,7 @@ func (c *Cluster) AddSupportStaff(name, portalPassword string) (*User, error) {
 	}
 	c.Seepid = procfs.NewSeepid(c.ExemptGID, c.seepidStaff()...)
 	c.SmaskRelax = vfs.NewSmaskRelax(0o002, c.seepidStaff()...)
+	c.staffDirty = true
 	// Refresh the credential to include the support group.
 	u.Cred, err = c.Registry.LoginCredential(u.UID)
 	return u, err
@@ -394,10 +415,8 @@ func (c *Cluster) AddProjectGroup(name string, steward ids.UID, members ...ids.U
 
 // Node returns any node (compute or login) by name.
 func (c *Cluster) Node(name string) (*simos.Node, error) {
-	for _, n := range append(append([]*simos.Node(nil), c.Compute...), c.Logins...) {
-		if n.Name == name {
-			return n, nil
-		}
+	if n, ok := c.nodesByName[name]; ok {
+		return n, nil
 	}
 	return nil, fmt.Errorf("core: no such node %q", name)
 }

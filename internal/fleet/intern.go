@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// userNamePool interns the "u<N>" account names every campaign-shaped
+// workload provisions. A 1M-user scenario used to materialize a fresh
+// million-string slice per compiled scenario (and again per ad-hoc
+// ProvisionMix call); the pool formats each name once, process-wide,
+// and every trial replication reuses the same string — names are
+// derived purely from the index, so sharing them cannot perturb any
+// output byte.
+var userNamePool struct {
+	mu    sync.RWMutex
+	names []string
+}
+
+// UserName returns the interned "u<i>" account name, formatting and
+// caching it on first use. Grow-only: the pool survives across trials
+// and campaigns by design.
+func UserName(i int) string {
+	userNamePool.mu.RLock()
+	if i < len(userNamePool.names) {
+		s := userNamePool.names[i]
+		userNamePool.mu.RUnlock()
+		return s
+	}
+	userNamePool.mu.RUnlock()
+	userNamePool.mu.Lock()
+	defer userNamePool.mu.Unlock()
+	for len(userNamePool.names) <= i {
+		userNamePool.names = append(userNamePool.names, fmt.Sprintf("u%d", len(userNamePool.names)))
+	}
+	return userNamePool.names[i]
+}

@@ -717,7 +717,7 @@ const makespanBuckets = 16
 func ProvisionMix(c *core.Cluster, spec workload.MixSpec, rng *metrics.RNG) ([]workload.Submission, error) {
 	creds := make([]ids.Credential, spec.Users)
 	for u := range creds {
-		acct, err := c.AddUser(fmt.Sprintf("u%d", u), "pw")
+		acct, err := c.AddUser(UserName(u), "pw")
 		if err != nil {
 			return nil, err
 		}
@@ -731,13 +731,14 @@ func ProvisionMix(c *core.Cluster, spec workload.MixSpec, rng *metrics.RNG) ([]w
 // override — no per-trial policy re-parsing or profile resolution),
 // the topology, the scenario's RNG stream seed (the FNV hop of
 // TrialSeed, hoisted so the per-trial derivation is two integer ops),
-// and the provisioning user names.
+// and the provisioning user count (names come from the process-wide
+// intern pool — see UserName — so no per-scenario slice exists).
 type compiledScenario struct {
-	spec      *Scenario
-	cfg       core.Config
-	topo      core.Topology
-	stream    uint64   // scenario RNG stream: StreamSeed(master, fnv(Name))
-	userNames []string // "u0".."uN-1", shared read-only across workers
+	spec   *Scenario
+	cfg    core.Config
+	topo   core.Topology
+	stream uint64 // scenario RNG stream: StreamSeed(master, fnv(Name))
+	users  int    // accounts to provision per replication: "u0".."uN-1"
 	// attack is the scenario's adversary campaign resolved against
 	// the step registry once (nil when the spec has none), shared
 	// read-only across workers like the rest of the compile.
@@ -762,14 +763,10 @@ func compileCampaign(c Campaign, master uint64) ([]compiledScenario, error) {
 		if err != nil {
 			return nil, err
 		}
-		names := make([]string, s.Workload.Users)
-		for u := range names {
-			names[u] = fmt.Sprintf("u%d", u)
-		}
 		comp[i] = compiledScenario{
 			spec: s, cfg: cfg, topo: topo,
-			stream:    metrics.StreamSeed(master, nameHash(s.Name)),
-			userNames: names,
+			stream: metrics.StreamSeed(master, nameHash(s.Name)),
+			users:  s.Workload.Users,
 		}
 		if s.Attack != nil {
 			ca, err := s.Attack.Compile()
@@ -930,8 +927,8 @@ func (w *trialWorker) runTrial(scenario, rep int) (*ScenarioResult, error) {
 	w.rec.Begin(0)
 	w.rng.Reseed(metrics.StreamSeed(cs.stream, uint64(rep)))
 	creds := slot.users[:0]
-	for _, name := range cs.userNames {
-		acct, err := c.AddUser(name, "pw")
+	for u := 0; u < cs.users; u++ {
+		acct, err := c.AddUser(UserName(u), "pw")
 		if err != nil {
 			return nil, err
 		}

@@ -31,7 +31,7 @@ type Device struct {
 	node    *simos.Node
 
 	mu       sync.Mutex
-	mem      []byte
+	mem      []byte  // allocated on first Write; nil reads as all-zeros
 	written  bool    // any byte ever stored; lets Reset skip the memset
 	assigned ids.UID // NoUID when free
 	jobID    int
@@ -50,11 +50,13 @@ const MemSize = 1 << 16
 // newDevice registers a GPU on a node with unassigned (invisible)
 // permissions.
 func newDevice(node *simos.Node, index int) *Device {
+	// The memory slab is allocated on first Write: device memory that
+	// no job ever touches costs nothing, which is what lets a 10k-node
+	// GPU fleet exist at all.
 	d := &Device{
 		Index:   index,
 		DevPath: fmt.Sprintf("/dev/nvidia%d", index),
 		node:    node,
-		mem:     make([]byte, MemSize),
 	}
 	d.assigned = ids.NoUID
 	// Unassigned: mode 000 — "GPUs that have not been assigned to a
@@ -81,8 +83,11 @@ func (d *Device) Write(cred ids.Credential, offset int, data []byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if offset < 0 || offset+len(data) > len(d.mem) {
+	if offset < 0 || offset+len(data) > MemSize {
 		return fmt.Errorf("%w: [%d,%d)", ErrOOB, offset, offset+len(data))
+	}
+	if d.mem == nil {
+		d.mem = make([]byte, MemSize)
 	}
 	copy(d.mem[offset:], data)
 	d.written = true
@@ -97,8 +102,12 @@ func (d *Device) Read(cred ids.Credential, offset, length int) ([]byte, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if offset < 0 || offset+length > len(d.mem) {
+	if offset < 0 || offset+length > MemSize {
 		return nil, fmt.Errorf("%w: [%d,%d)", ErrOOB, offset, offset+length)
+	}
+	if d.mem == nil {
+		// Never written: all zeros, without materializing the slab.
+		return make([]byte, length), nil
 	}
 	return append([]byte(nil), d.mem[offset:offset+length]...), nil
 }
@@ -137,6 +146,11 @@ type Manager struct {
 
 	mu     sync.Mutex
 	byNode map[string][]*Device
+	// dirty is set whenever device state may have changed — an
+	// assignment through the prolog/epilog or a caller obtaining raw
+	// device handles via Devices — so Reset on an untouched manager
+	// skips the full device walk (O(nodes×gpus) at XXL scale).
+	dirty bool
 }
 
 // NewManager equips each node with gpusPerNode devices.
@@ -169,6 +183,10 @@ func NewManager(nodes []*simos.Node, gpusPerNode int, assignPerms, clearOnReleas
 func (m *Manager) Reset() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if !m.dirty {
+		return nil
+	}
+	m.dirty = false
 	mode := uint32(0o000)
 	if !m.AssignDevPerms {
 		mode = 0o666
@@ -192,6 +210,9 @@ func (m *Manager) Reset() error {
 func (m *Manager) Devices(node string) []*Device {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Raw handles escape the manager's bookkeeping: assume the caller
+	// mutates device state so the next Reset does a full sweep.
+	m.dirty = true
 	return append([]*Device(nil), m.byNode[node]...)
 }
 
@@ -204,6 +225,9 @@ func (m *Manager) Prolog(job *sched.Job, node *simos.Node) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Assignment mutates device + /dev state; Epilog only ever rewinds
+	// what a Prolog assigned, so flagging here covers both hooks.
+	m.dirty = true
 	need := job.Spec.GPUs
 	for _, d := range m.byNode[node.Name] {
 		if need == 0 {

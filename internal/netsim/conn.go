@@ -36,6 +36,7 @@ func (h *Host) Listen(cred ids.Credential, proto Proto, port int) (*Listener, er
 	}
 	l := &Listener{host: h, proto: proto, port: port, cred: cred.Clone()}
 	h.listeners[key] = l
+	h.touch()
 	return l, nil
 }
 
@@ -134,6 +135,7 @@ func (h *Host) Dial(cred ids.Credential, proto Proto, dstHost string, dstPort in
 		srcHost: h,
 	}
 	// conntrack entries on both hosts cover both directions.
+	dst.touch()
 	dst.conntrack.add(flow)
 	dst.conntrack.add(flow.reverse())
 	h.conntrack.add(flow)

@@ -89,6 +89,11 @@ type Network struct {
 	mu    sync.RWMutex
 	hosts map[string]*Host
 
+	// dirtyHosts counts hosts carrying dynamic socket state, so Reset
+	// on an untouched fabric skips the whole-host walk (O(nodes) at
+	// XXL scale).
+	dirtyHosts atomic.Int64
+
 	// Stats counts hook invocations, ident queries and packets for
 	// the overhead experiment (E8).
 	HookInvocations  atomic.Int64
@@ -172,12 +177,15 @@ func (n *Network) ResetStats() {
 // dropped and the stats counters zeroed. Host membership and firewall
 // hooks survive — they are cluster-assembly wiring, not traffic state.
 func (n *Network) Reset() {
+	n.ResetStats()
+	if n.dirtyHosts.Load() == 0 {
+		return
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	for _, h := range n.hosts {
 		h.Reset()
 	}
-	n.ResetStats()
 }
 
 type portKey struct {
@@ -198,6 +206,21 @@ type Host struct {
 	nextEphem int
 	ephemeral map[int]ids.Credential // src ports of active outbound conns
 	abstract  map[string]*AbstractSocket
+
+	// dirty marks that the host has accumulated socket state since the
+	// last Reset. Atomic so conntrack inserts on the remote host can
+	// touch it without taking h.mu.
+	dirty atomic.Bool
+}
+
+// touch marks the host dirty, maintaining the network-wide count of
+// hosts that need a Reset sweep. Deletions never un-touch: a host that
+// bound and closed a socket still counts until the next Reset, which
+// keeps the flag monotone between resets.
+func (h *Host) touch() {
+	if h.dirty.CompareAndSwap(false, true) {
+		h.net.dirtyHosts.Add(1)
+	}
 }
 
 // Name returns the host name.
@@ -218,7 +241,13 @@ func (h *Host) SetFirewall(hook HookFunc, portFilter func(port int) bool) {
 // entries, ephemeral port bindings, abstract sockets — and rewinds the
 // ephemeral port counter, keeping the installed firewall hook. All
 // existing allocations (the maps) are reused.
+// Untouched hosts (no sockets bound since the last Reset) return
+// immediately without taking the lock.
 func (h *Host) Reset() {
+	if !h.dirty.CompareAndSwap(true, false) {
+		return
+	}
+	h.net.dirtyHosts.Add(-1)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	clear(h.listeners)
@@ -267,6 +296,7 @@ func (h *Host) allocEphemeral(cred ids.Credential) (int, error) {
 		if _, used := h.ephemeral[p]; !used {
 			if _, bound := h.listeners[portKey{TCP, p}]; !bound {
 				h.ephemeral[p] = cred.Clone()
+				h.touch()
 				return p, nil
 			}
 		}

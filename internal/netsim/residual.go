@@ -40,6 +40,7 @@ func (h *Host) ListenAbstract(cred ids.Credential, name string) (*AbstractSocket
 	}
 	s := &AbstractSocket{Name: name, Owner: cred.Clone(), host: h}
 	h.abstract[name] = s
+	h.touch()
 	return s, nil
 }
 

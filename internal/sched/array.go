@@ -24,6 +24,7 @@ func (s *Scheduler) SetUserLimit(limit int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.userLimit = limit
+	s.gen++
 }
 
 // activeJobsLocked counts pending+running jobs of uid from the
@@ -60,6 +61,7 @@ func (s *Scheduler) SubmitArray(cred ids.Credential, spec JobSpec, count int) ([
 	}
 	arrayID := s.nextArray
 	s.nextArray++
+	s.gen++
 	s.mu.Unlock()
 
 	jobs := make([]*Job, 0, count)

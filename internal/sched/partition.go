@@ -34,6 +34,10 @@ type Partition struct {
 	// probes for partition jobs are O(1) too (set by AddPartition on
 	// the stored copy; placement.go).
 	scope *capScope
+	// members is a bitset over node indices (nodeState.index), built by
+	// AddPartition so the placement scan tests membership with one bit
+	// probe instead of a string prefix match per node.
+	members []uint64
 }
 
 // Partition errors.
@@ -49,9 +53,11 @@ var (
 func (s *Scheduler) AddPartition(p Partition) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	members := make([]uint64, (len(s.nodes)+63)/64)
 	n := 0
-	for _, ns := range s.nodes {
+	for i, ns := range s.nodes {
 		if strings.HasPrefix(ns.node.Name, p.NodePrefix) {
+			members[i/64] |= 1 << (i % 64)
 			n++
 		}
 	}
@@ -66,10 +72,12 @@ func (s *Scheduler) AddPartition(p Partition) error {
 		s.dropScope(old.scope)
 	}
 	cp := p
+	cp.members = members
 	cp.scope = s.enrollScope(func(ns *nodeState) bool {
-		return strings.HasPrefix(ns.node.Name, p.NodePrefix)
+		return cp.hasMember(ns.index)
 	})
 	s.partitions[p.Name] = &cp
+	s.gen++
 	// A changed policy override or member set may make stuck pending
 	// jobs placeable: re-open the scheduling gate.
 	s.queueBlocked = false
@@ -115,13 +123,15 @@ func (s *Scheduler) partitionOf(j *Job) *Partition {
 	return s.partitions[j.Spec.Partition]
 }
 
-// inPartition reports whether a node belongs to the partition (nil
-// partition = every compute node).
-func inPartition(p *Partition, nodeName string) bool {
-	if p == nil {
-		return true
-	}
-	return strings.HasPrefix(nodeName, p.NodePrefix)
+// hasMember tests the membership bitset for a node index.
+func (p *Partition) hasMember(i int) bool {
+	return p.members[i/64]>>(i%64)&1 == 1
+}
+
+// inPartition reports whether the node at index i in s.nodes belongs
+// to the partition (nil partition = every compute node).
+func inPartition(p *Partition, i int) bool {
+	return p == nil || p.hasMember(i)
 }
 
 // effectivePolicy returns the sharing policy that governs a job.

@@ -111,10 +111,7 @@ func (ns *nodeState) sole() (ids.UID, bool) {
 	if len(ns.users) != 1 {
 		return ids.NoUID, false
 	}
-	for u := range ns.users {
-		return u, true
-	}
-	return ids.NoUID, false
+	return ns.users[0].uid, true
 }
 
 // oomArmed reports whether the next fault-injection pass would crash
@@ -204,8 +201,11 @@ func (s *Scheduler) applyPlace(ns *nodeState, j *Job, cores int) {
 	ns.usedCores += cores
 	ns.usedMem += j.Spec.MemB
 	ns.usedGPUs += j.Spec.GPUs
+	if ns.jobs == nil {
+		ns.jobs = make(map[int]*Job, 4)
+	}
 	ns.jobs[j.ID] = j
-	ns.users[j.User]++
+	ns.addUser(j.User)
 	ns.memCommit += effMemB(j)
 	if j.Spec.ActualMemB > ns.node.MemB {
 		ns.overCount++
@@ -229,10 +229,7 @@ func (s *Scheduler) applyRelease(ns *nodeState, j *Job, cores int) {
 	ns.usedMem -= j.Spec.MemB
 	ns.usedGPUs -= j.Spec.GPUs
 	delete(ns.jobs, j.ID)
-	ns.users[j.User]--
-	if ns.users[j.User] == 0 {
-		delete(ns.users, j.User)
-	}
+	ns.delUser(j.User)
 	ns.memCommit -= effMemB(j)
 	if j.Spec.ActualMemB > ns.node.MemB {
 		ns.overCount--

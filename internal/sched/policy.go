@@ -31,7 +31,7 @@ func (s *Scheduler) fit(j *Job) bool {
 		if ns.node.Kind != simos.Compute || ns.node.Down() {
 			continue
 		}
-		if !inPartition(part, ns.node.Name) {
+		if !inPartition(part, i) {
 			continue
 		}
 		if !s.nodeEligible(ns, j, policy) {

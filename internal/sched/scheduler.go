@@ -28,15 +28,27 @@ type Config struct {
 // job. The GPU substrate registers both.
 type Hook func(job *Job, node *simos.Node) error
 
+// userCount is one entry of a node's per-user job tally. Nodes host a
+// handful of users at most (one, under user-whole-node), so a compact
+// slice beats a map at 10k-node scale: no per-node map header, no
+// hashing on the hot path.
+type userCount struct {
+	uid ids.UID
+	n   int
+}
+
 // nodeState tracks allocations on one node.
 type nodeState struct {
 	node      *simos.Node
+	index     int // position in s.nodes; partition bitsets key on it
 	usedCores int
 	usedMem   int64
 	usedGPUs  int
 	totalGPUs int
-	jobs      map[int]*Job
-	users     map[ids.UID]int // uid -> #jobs on node
+	// jobs is allocated lazily on first placement so an untouched node
+	// costs no map at construction.
+	jobs  map[int]*Job
+	users []userCount // per-user #jobs on node, unordered
 	// scopes are the capacity aggregates this node contributes to
 	// (the default scope plus any partitions containing it); nil for
 	// non-compute nodes.
@@ -53,12 +65,46 @@ func (ns *nodeState) freeMem() int64 { return ns.node.MemB - ns.usedMem }
 func (ns *nodeState) freeGPUs() int  { return ns.totalGPUs - ns.usedGPUs }
 func (ns *nodeState) empty() bool    { return len(ns.jobs) == 0 }
 func (ns *nodeState) soleUser(u ids.UID) bool {
-	for uid := range ns.users {
-		if uid != u {
+	for _, uc := range ns.users {
+		if uc.uid != u {
 			return false
 		}
 	}
 	return true
+}
+
+// addUser counts one more job of u on the node.
+func (ns *nodeState) addUser(u ids.UID) {
+	for i := range ns.users {
+		if ns.users[i].uid == u {
+			ns.users[i].n++
+			return
+		}
+	}
+	ns.users = append(ns.users, userCount{uid: u, n: 1})
+}
+
+// delUser counts one job of u off the node, dropping the entry at zero.
+func (ns *nodeState) delUser(u ids.UID) {
+	for i := range ns.users {
+		if ns.users[i].uid == u {
+			ns.users[i].n--
+			if ns.users[i].n == 0 {
+				ns.users = append(ns.users[:i], ns.users[i+1:]...)
+			}
+			return
+		}
+	}
+}
+
+// userJobs returns how many jobs of u run on the node.
+func (ns *nodeState) userJobs(u ids.UID) int {
+	for _, uc := range ns.users {
+		if uc.uid == u {
+			return uc.n
+		}
+	}
+	return 0
 }
 
 // Scheduler is the cluster batch scheduler.
@@ -140,6 +186,10 @@ type Scheduler struct {
 	// cleared by Reset like every other trial-scoped tally.
 	stepCount int64
 	ffTicks   int64
+	// gen counts logical mutations since construction or the last
+	// Reset: zero proves the scheduler is already pristine, so Reset
+	// skips the O(nodes) rewind entirely.
+	gen uint64
 }
 
 // Scheduler errors.
@@ -166,9 +216,8 @@ func New(cfg Config, nodes []*simos.Node, gpusPerNode int) *Scheduler {
 	for _, n := range nodes {
 		st := &nodeState{
 			node:      n,
+			index:     len(s.nodes),
 			totalGPUs: gpusPerNode,
-			jobs:      make(map[int]*Job),
-			users:     make(map[ids.UID]int),
 		}
 		s.nodes = append(s.nodes, st)
 		s.byName[n.Name] = st
@@ -201,9 +250,15 @@ func New(cfg Config, nodes []*simos.Node, gpusPerNode int) *Scheduler {
 // reuses every existing allocation (maps are cleared, slices
 // truncated), so a Reset on a drained scheduler allocates nothing
 // beyond the rebuilt default scope membership.
+// An untouched scheduler (no submit, cancel, step, partition or limit
+// change since construction or the last Reset) returns immediately.
 func (s *Scheduler) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.gen == 0 {
+		return
+	}
+	s.gen = 0
 	s.now = 0
 	s.nextID = 1
 	s.nextArray = 1
@@ -228,7 +283,7 @@ func (s *Scheduler) Reset() {
 	for _, ns := range s.nodes {
 		ns.usedCores, ns.usedMem, ns.usedGPUs = 0, 0, 0
 		clear(ns.jobs)
-		clear(ns.users)
+		ns.users = ns.users[:0]
 		ns.memCommit, ns.overCount = 0, 0
 		ns.scopes = ns.scopes[:0]
 	}
@@ -308,6 +363,7 @@ func (s *Scheduler) Submit(cred ids.Credential, spec JobSpec) (*Job, error) {
 		Tasks:  make(map[string]int),
 	}
 	s.nextID++
+	s.gen++
 	s.jobs[j.ID] = j
 	s.queueElem[j.ID] = s.queue.PushBack(j)
 	s.activeByUser[j.User]++
@@ -332,10 +388,12 @@ func (s *Scheduler) Cancel(actor ids.Credential, jobID int) error {
 	case Pending:
 		j.State = Cancelled
 		j.End = s.now
+		s.gen++
 		s.dequeue(j)
 		s.decActiveLocked(j.User)
 		s.account(j)
 	case Running:
+		s.gen++
 		s.finish(j, Cancelled)
 	}
 	return nil
@@ -393,6 +451,7 @@ func (s *Scheduler) Step() int {
 func (s *Scheduler) stepLocked() int {
 	s.now++
 	s.stepCount++
+	s.gen++
 	// Account utilization before finishing, i.e. usage during this
 	// tick. Busy counts the cores jobs *requested*, not the cores a
 	// placement occupies — exclusive allocations waste the node
@@ -576,7 +635,7 @@ func (s *Scheduler) HasJobOn(uid ids.UID, nodeName string) bool {
 	if !ok {
 		return false
 	}
-	return ns.users[uid] > 0
+	return ns.userJobs(uid) > 0
 }
 
 // Utilization returns busy core-ticks / total core-ticks so far.

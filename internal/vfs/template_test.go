@@ -1,0 +1,57 @@
+package vfs
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// TestTemplateMountSharing pins the structural property the XXL
+// substrate relies on: a template-backed mount aliases the template's
+// tree until first write, detaches with a private copy on write, and
+// Reset re-aliases the template instead of deep-copying it.
+func TestTemplateMountSharing(t *testing.T) {
+	reg := ids.NewRegistry()
+	proto := New("proto", Policy{}, reg)
+	if err := proto.CreateTmp("/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	tmpl := proto.AsTemplate()
+
+	a := NewFromTemplate("a", Policy{}, reg, tmpl)
+	b := NewFromTemplate("b", Policy{}, reg, tmpl)
+	if a.root != tmpl.root || b.root != tmpl.root {
+		t.Fatal("fresh template mounts must alias the template root")
+	}
+
+	// An untouched mount's Reset must keep the alias — no deep copy.
+	b.Reset()
+	if b.root != tmpl.root {
+		t.Fatal("Reset on untouched template mount detached from template")
+	}
+
+	// First write detaches the writer only.
+	cred, err := reg.LoginCredential(ids.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteFile(Ctx(cred), "/tmp/scratch", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if a.root == tmpl.root {
+		t.Fatal("write did not detach mount from template")
+	}
+	if b.root != tmpl.root {
+		t.Fatal("write to one mount detached a sibling")
+	}
+
+	// Reset on the touched mount re-aliases the template (pristine was
+	// recorded as the template root), rather than keeping the copy.
+	a.Reset()
+	if a.root != tmpl.root {
+		t.Fatal("Reset did not re-alias the template root")
+	}
+	if _, err := a.Stat(Ctx(cred), "/tmp/scratch"); err == nil {
+		t.Fatal("post-Reset mount still shows pre-Reset write")
+	}
+}

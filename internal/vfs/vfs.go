@@ -144,6 +144,20 @@ type FS struct {
 	// untouched mount is a no-op.
 	pristine *fsSnapshot
 	dirty    bool
+	// Template-backed mounts (NewFromTemplate) alias an immutable
+	// shared tree until first mutation: while shared is true, root
+	// points into tmpl and the mount has cost O(1) regardless of the
+	// tree's size. dirtyLocked performs the copy-on-first-write, and
+	// Reset re-aliases the template instead of deep-copying.
+	tmpl   *Template
+	shared bool
+}
+
+// Template is an immutable pristine tree many mounts can share: every
+// untouched per-node mount of an XXL cluster is one pointer to it
+// instead of a full deep copy. Build one with (*FS).AsTemplate.
+type Template struct {
+	root *inode
 }
 
 // fsSnapshot is the state MarkPristine captures.
@@ -176,6 +190,13 @@ func (n *inode) deepCopy() *inode {
 func (fs *FS) MarkPristine() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.shared {
+		// The tree is still the immutable template — record it as the
+		// pristine state without copying; Reset re-aliases it.
+		fs.pristine = &fsSnapshot{root: fs.tmpl.root, quota: cloneQuota(fs.quota), usage: cloneQuota(fs.usage)}
+		fs.dirty = false
+		return
+	}
 	fs.pristine = &fsSnapshot{root: fs.root.deepCopy(), quota: cloneQuota(fs.quota), usage: cloneQuota(fs.usage)}
 	fs.dirty = false
 }
@@ -192,10 +213,22 @@ func (fs *FS) Reset() {
 	if !fs.dirty {
 		return
 	}
-	if fs.pristine == nil {
+	switch {
+	case fs.pristine == nil && fs.tmpl != nil:
+		// No mark taken: the post-New state of a template-backed
+		// mount is the template itself.
+		fs.root, fs.shared = fs.tmpl.root, true
+		fs.quota, fs.usage = nil, nil
+	case fs.pristine == nil:
 		fs.root = newRoot()
 		fs.quota, fs.usage = nil, nil
-	} else {
+	case fs.tmpl != nil && fs.pristine.root == fs.tmpl.root:
+		// The pristine state is the shared template: re-alias it
+		// instead of deep-copying — O(1) however large the tree.
+		fs.root, fs.shared = fs.tmpl.root, true
+		fs.quota = cloneQuota(fs.pristine.quota)
+		fs.usage = cloneQuota(fs.pristine.usage)
+	default:
 		fs.root = fs.pristine.root.deepCopy()
 		fs.quota = cloneQuota(fs.pristine.quota)
 		fs.usage = cloneQuota(fs.pristine.usage)
@@ -217,14 +250,41 @@ func cloneQuota(m map[ids.UID]int64) map[ids.UID]int64 {
 // dirtyLocked flags the mount as mutated since the pristine mark.
 // Caller holds fs.mu for writing; every mutating entry point calls it
 // before touching the tree (flagging on a failed attempt is fine —
-// the flag is a may-have-changed bound, and Reset stays exact).
-func (fs *FS) dirtyLocked() { fs.dirty = true }
+// the flag is a may-have-changed bound, and Reset stays exact). For a
+// template-backed mount this is the copy-on-first-write point: the
+// shared tree is replaced by a private deep copy before any mutator
+// can reach an inode, so the template stays immutable forever.
+func (fs *FS) dirtyLocked() {
+	if fs.shared {
+		fs.root = fs.tmpl.root.deepCopy()
+		fs.shared = false
+	}
+	fs.dirty = true
+}
 
 // New creates an empty filesystem whose root is owned by root with
 // mode 0755. reg is consulted for ACL membership checks; it may be
 // nil if Policy.ACLRestrict is false.
 func New(name string, policy Policy, reg *ids.Registry) *FS {
 	return &FS{Name: name, Policy: policy, reg: reg, root: newRoot()}
+}
+
+// AsTemplate freezes a deep copy of the mount's current tree as an
+// immutable template for NewFromTemplate. The cluster assembly builds
+// one prototype local mount, freezes it, and stamps out every node's
+// mount from the template in O(1) each.
+func (fs *FS) AsTemplate() *Template {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return &Template{root: fs.root.deepCopy()}
+}
+
+// NewFromTemplate creates a mount whose tree is the shared template —
+// no per-mount copy is made until the first mutation (or ever, for a
+// mount nothing writes to). Reset re-aliases the template, so an
+// untouched templated mount costs O(1) to build, hold and reset.
+func NewFromTemplate(name string, policy Policy, reg *ids.Registry, t *Template) *FS {
+	return &FS{Name: name, Policy: policy, reg: reg, root: t.root, tmpl: t, shared: true}
 }
 
 func newRoot() *inode {
